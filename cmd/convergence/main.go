@@ -1,0 +1,121 @@
+// Command convergence reproduces Figure 16: the iterative solution of the
+// same model problem on the anisotropic mesh and on the isotropic
+// comparison mesh. The paper's anisotropic mesh (360,241 triangles)
+// converges around 5,000 FUN3D iterations while the isotropic mesh
+// (5,314,372 triangles — 14.7x more) takes around 10,000; here the solver
+// substitute prints both residual histories and the iteration and element
+// ratios, whose shape (anisotropic wins on both axes) is the reproduced
+// result.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"pamg2d/internal/airfoil"
+	"pamg2d/internal/blayer"
+	"pamg2d/internal/core"
+	"pamg2d/internal/geom"
+	"pamg2d/internal/growth"
+	"pamg2d/internal/mesh"
+	"pamg2d/internal/sizing"
+	"pamg2d/internal/solver"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("convergence: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the Figure 16 study with explicit streams for testability.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("convergence", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		nHalf  = fs.Int("n", 48, "surface resolution")
+		blH0   = fs.Float64("bl-h0", 1e-3, "first boundary-layer height")
+		layers = fs.Int("bl-layers", 18, "maximum boundary layers")
+		isoRes = fs.Float64("iso-factor", 1, "isotropic near-wall resolution factor (1 = first BL layer height)")
+		tol    = fs.Float64("tol", 1e-10, "solver stopping tolerance")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Geometry = airfoil.Single(airfoil.NACA0012, *nHalf, 10)
+	cfg.BL = blayer.DefaultParams()
+	cfg.BL.Growth = growth.Geometric{H0: *blH0, Ratio: 1.3}
+	cfg.BL.MaxLayers = *layers
+	cfg.SurfaceH0 = 0.04
+	cfg.Gradation = 0.25
+	cfg.HMax = 2
+	cfg.Ranks = 2
+
+	fmt.Fprintln(stdout, "generating anisotropic mesh...")
+	aniso, err := core.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "generating isotropic mesh (same geometry and sizing, no boundary layer)...")
+	iso, err := core.IsotropicBaseline(cfg, *isoRes)
+	if err != nil {
+		return err
+	}
+
+	g, err := cfg.Geometry.Graph()
+	if err != nil {
+		return err
+	}
+	surf := sizing.NewGraded(g.Surfaces[0].Points, 1, 0, 0)
+	nearBody := func(p geom.Point) bool { return surf.Distance(p) < 0.05 }
+	bc := solver.AirfoilBC(nearBody)
+
+	solve := func(name string, m *mesh.Mesh) (*solver.Solution, error) {
+		sol, err := solver.Solve(
+			solver.Problem{Mesh: m, Diffusivity: 0.01, Velocity: geom.V(1, 0.1), Boundary: bc},
+			solver.Options{Tol: *tol, MaxIters: 500000, Method: solver.GaussSeidel})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(stdout, "%-12s %9d triangles   %7d iterations  converged=%v\n",
+			name, m.NumTriangles(), sol.History.Iterations, sol.History.Converged)
+		return sol, nil
+	}
+
+	fmt.Fprintln(stdout, "\nFigure 16: convergence of the model problem")
+	sa, err := solve("anisotropic", aniso.Mesh)
+	if err != nil {
+		return err
+	}
+	si, err := solve("isotropic", iso)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "\nelement ratio  iso/aniso = %.1fx (paper: 14.7x)\n",
+		float64(iso.NumTriangles())/float64(aniso.Mesh.NumTriangles()))
+	fmt.Fprintf(stdout, "iteration ratio iso/aniso = %.2fx (paper: ~2x)\n",
+		float64(si.History.Iterations)/float64(sa.History.Iterations))
+
+	// Residual history samples (the curve of Figure 16).
+	fmt.Fprintln(stdout, "\nresidual history (sampled):")
+	sample := func(name string, h solver.History) {
+		fmt.Fprintf(stdout, "%-12s", name)
+		n := len(h.Residuals)
+		for i := 0; i < 8; i++ {
+			idx := i * (n - 1) / 7
+			fmt.Fprintf(stdout, " %9.1e", h.Residuals[idx])
+		}
+		fmt.Fprintln(stdout)
+	}
+	sample("anisotropic", sa.History)
+	sample("isotropic", si.History)
+	return nil
+}

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestConvergenceRunSmall(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-n", "20", "-bl-h0", "4e-3", "-bl-layers", "8", "-iso-factor", "3", "-tol", "1e-6"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"anisotropic", "isotropic", "element ratio", "iteration ratio", "residual history"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunGeneratesAllFigures(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run(dir, &out); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"fig02_normals.svg", "fig04_fans.svg", "fig05_isotropy.svg",
+		"fig08_subdomains.svg", "fig09_quadrants.svg", "fig10_decoupled.svg",
+		"fig13_intersections.svg", "mesh.svg",
+	}
+	for _, name := range want {
+		path := filepath.Join(dir, name)
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if st.Size() < 500 {
+			t.Errorf("%s is suspiciously small (%d bytes)", name, st.Size())
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(data), "<svg") {
+			t.Errorf("%s is not an SVG", name)
+		}
+	}
+	if got := strings.Count(out.String(), "wrote "); got != len(want) {
+		t.Errorf("log lines = %d, want %d", got, len(want))
+	}
+}

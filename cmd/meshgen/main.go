@@ -1,0 +1,25 @@
+// Command meshgen is the push-button parallel anisotropic mesh generator:
+// given a geometry choice (or a Triangle .poly file) and boundary-layer
+// parameters on the command line, it generates the mesh with no further
+// interaction and writes Triangle-format ASCII, compact binary, or VTK
+// output.
+//
+// Usage:
+//
+//	meshgen -geometry naca0012 -n 128 -ranks 8 -o mesh.txt
+//	meshgen -geometry 30p30n -n 96 -ranks 16 -format binary -o mesh.bin
+//	meshgen -input wing.poly -format vtk -o wing.vtk
+package main
+
+import (
+	"log"
+	"os"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("meshgen: ")
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}

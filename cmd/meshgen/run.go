@@ -1,0 +1,144 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pamg2d/internal/airfoil"
+	"pamg2d/internal/core"
+	"pamg2d/internal/growth"
+	"pamg2d/internal/pslg"
+)
+
+// run executes the meshgen CLI with explicit argument and output streams
+// so the command is testable end to end.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("meshgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		geometry  = fs.String("geometry", "naca0012", "geometry: naca0012 | 30p30n (ignored with -input)")
+		input     = fs.String("input", "", "read the PSLG from a Triangle .poly file instead of -geometry")
+		writePoly = fs.String("write-poly", "", "also write the generated PSLG to this .poly file")
+		nHalf     = fs.Int("n", 64, "surface resolution (half-points per element)")
+		ranks     = fs.Int("ranks", 4, "simulated MPI ranks")
+		farfield  = fs.Float64("farfield", 30, "far-field half-width in chords")
+		h0        = fs.Float64("bl-h0", 4e-4, "first boundary-layer height")
+		ratio     = fs.Float64("bl-ratio", 1.25, "boundary-layer growth ratio")
+		layersMax = fs.Int("bl-layers", 40, "maximum boundary layers")
+		surfaceH  = fs.Float64("h0", 0.02, "isotropic surface edge length")
+		gradation = fs.Float64("gradation", 0.15, "sizing growth with distance")
+		hmax      = fs.Float64("hmax", 4.0, "far-field edge length cap")
+		kernel    = fs.String("kernel", "ruppert", "inviscid kernel: ruppert | front")
+		format    = fs.String("format", "ascii", "output format: ascii | binary | vtk")
+		out       = fs.String("o", "", "output file (default stdout)")
+		quiet     = fs.Bool("q", false, "suppress statistics")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := core.DefaultConfig()
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			return err
+		}
+		g, err := pslg.ReadPoly(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		cfg.CustomGraph = g
+	} else {
+		switch *geometry {
+		case "naca0012":
+			cfg.Geometry = airfoil.Single(airfoil.NACA0012, *nHalf, *farfield)
+		case "30p30n":
+			cfg.Geometry = airfoil.ThreeElement(*nHalf)
+			cfg.Geometry.FarfieldChords = *farfield
+		default:
+			return fmt.Errorf("unknown geometry %q", *geometry)
+		}
+	}
+	if *writePoly != "" {
+		g := cfg.CustomGraph
+		if g == nil {
+			var err error
+			g, err = cfg.Geometry.Graph()
+			if err != nil {
+				return err
+			}
+		}
+		f, err := os.Create(*writePoly)
+		if err != nil {
+			return err
+		}
+		if err := g.WritePoly(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	cfg.BL.Growth = growth.Geometric{H0: *h0, Ratio: *ratio}
+	cfg.BL.MaxLayers = *layersMax
+	cfg.SurfaceH0 = *surfaceH
+	cfg.Gradation = *gradation
+	cfg.HMax = *hmax
+	cfg.Ranks = *ranks
+	switch *kernel {
+	case "ruppert":
+		cfg.InviscidKernel = core.KernelRuppert
+	case "front":
+		cfg.InviscidKernel = core.KernelAdvancingFront
+	default:
+		return fmt.Errorf("unknown kernel %q", *kernel)
+	}
+
+	res, err := core.Generate(cfg)
+	if err != nil {
+		return err
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "ascii":
+		err = res.Mesh.WriteASCII(w)
+	case "binary":
+		err = res.Mesh.WriteBinary(w)
+	case "vtk":
+		err = res.Mesh.WriteVTK(w, nil)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		return err
+	}
+
+	if !*quiet {
+		st := res.Stats
+		q := res.Mesh.Quality()
+		fmt.Fprintf(stderr, "points               %d\n", res.Mesh.NumPoints())
+		fmt.Fprintf(stderr, "triangles            %d (BL %d, transition %d, inviscid %d)\n",
+			st.TotalTriangles, st.BLTriangles, st.TransitionTris, st.InviscidTris)
+		fmt.Fprintf(stderr, "boundary-layer pts   %d from %d surface points\n",
+			st.BoundaryLayerPts, st.SurfacePoints)
+		fmt.Fprintf(stderr, "max aspect ratio     %.1f\n", q.MaxAspectRatio)
+		fmt.Fprintf(stderr, "tasks                %d across %d ranks (%d msgs, %d bytes)\n",
+			len(st.Tasks), cfg.Ranks, st.Messages, st.BytesOnWire)
+		fmt.Fprintf(stderr, "time                 total %v (BL %v, parallel %v)\n",
+			st.Times.Total.Round(1e6), st.Times.Boundary.Round(1e6), st.Times.Parallel.Round(1e6))
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func fastArgs(extra ...string) []string {
+	base := []string{
+		"-n", "24", "-farfield", "6", "-ranks", "1",
+		"-h0", "0.08", "-hmax", "2", "-bl-h0", "3e-3", "-bl-layers", "8",
+	}
+	return append(base, extra...)
+}
+
+func TestRunASCII(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run(fastArgs(), &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("no mesh written")
+	}
+	if !strings.Contains(errb.String(), "triangles") {
+		t.Errorf("stats missing: %q", errb.String())
+	}
+}
+
+func TestRunQuietSuppressesStats(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run(fastArgs("-q"), &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if errb.Len() != 0 {
+		t.Errorf("quiet mode still wrote stats: %q", errb.String())
+	}
+}
+
+func TestRunVTKAndBinary(t *testing.T) {
+	for _, format := range []string{"vtk", "binary"} {
+		var out, errb bytes.Buffer
+		if err := run(fastArgs("-q", "-format", format), &out, &errb); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if out.Len() == 0 {
+			t.Fatalf("%s: empty output", format)
+		}
+	}
+}
+
+func TestRunPolyRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	poly := filepath.Join(dir, "g.poly")
+	mesh1 := filepath.Join(dir, "m1.txt")
+	var out, errb bytes.Buffer
+	if err := run(fastArgs("-q", "-write-poly", poly, "-o", mesh1), &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(poly); err != nil {
+		t.Fatal(err)
+	}
+	// Regenerate from the exported geometry.
+	mesh2 := filepath.Join(dir, "m2.txt")
+	if err := run(fastArgs("-q", "-input", poly, "-o", mesh2), &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := os.Stat(mesh1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := os.Stat(mesh2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same geometry should produce meshes of very similar size.
+	ratio := float64(s2.Size()) / float64(s1.Size())
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("poly round trip produced divergent meshes: %d vs %d bytes", s1.Size(), s2.Size())
+	}
+}
+
+func TestRunFrontKernel(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run(fastArgs("-q", "-kernel", "front"), &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("no mesh written")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-geometry", "bogus"}, &out, &errb); err == nil {
+		t.Error("bogus geometry must fail")
+	}
+	if err := run(fastArgs("-format", "bogus"), &out, &errb); err == nil {
+		t.Error("bogus format must fail")
+	}
+	if err := run(fastArgs("-kernel", "bogus"), &out, &errb); err == nil {
+		t.Error("bogus kernel must fail")
+	}
+	if err := run([]string{"-input", "/nonexistent/file.poly"}, &out, &errb); err == nil {
+		t.Error("missing input file must fail")
+	}
+	if err := run([]string{"-bad-flag"}, &out, &errb); err == nil {
+		t.Error("unknown flag must fail")
+	}
+}

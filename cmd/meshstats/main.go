@@ -1,0 +1,19 @@
+// Command meshstats reads a mesh produced by meshgen (Triangle-format
+// ASCII or pamg2d binary) and prints a structural and quality report:
+// audits, element counts, area, the angle histogram, anisotropy, and the
+// boundary-edge count. Use it to inspect meshes before handing them to a
+// flow solver.
+package main
+
+import (
+	"log"
+	"os"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("meshstats: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

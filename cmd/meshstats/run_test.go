@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pamg2d/internal/geom"
+	"pamg2d/internal/mesh"
+)
+
+func sampleMesh() *mesh.Mesh {
+	b := mesh.NewBuilder()
+	b.AddTriangle(geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 1))
+	b.AddTriangle(geom.Pt(0, 0), geom.Pt(1, 1), geom.Pt(0, 1))
+	return b.Mesh()
+}
+
+func writeSample(t *testing.T, binary bool) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "m.dat")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m := sampleMesh()
+	if binary {
+		err = m.WriteBinary(f)
+	} else {
+		err = m.WriteASCII(f)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestStatsASCIIAuto(t *testing.T) {
+	path := writeSample(t, false)
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"triangles     2", "audit         ok", "min angle     45.00", "40- 50 deg"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestStatsBinaryAuto(t *testing.T) {
+	path := writeSample(t, true)
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "triangles     2") {
+		t.Errorf("binary auto-detect failed:\n%s", out.String())
+	}
+}
+
+func TestStatsExplicitFormats(t *testing.T) {
+	ascii := writeSample(t, false)
+	bin := writeSample(t, true)
+	var out bytes.Buffer
+	if err := run([]string{"-format", "ascii", ascii}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-format", "binary", bin}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-format", "binary", ascii}, &out); err == nil {
+		t.Error("reading ASCII as binary must fail")
+	}
+}
+
+func TestStatsErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing file argument must fail")
+	}
+	if err := run([]string{"/nonexistent"}, &out); err == nil {
+		t.Error("missing file must fail")
+	}
+	if err := run([]string{"-format", "bogus", writeSample(t, false)}, &out); err == nil {
+		t.Error("bogus format must fail")
+	}
+}
+
+func TestStatsFailedAudit(t *testing.T) {
+	// Write a mesh with a CW triangle directly.
+	m := &mesh.Mesh{
+		Points:    []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0, 1)},
+		Triangles: [][3]int32{{0, 2, 1}},
+	}
+	path := filepath.Join(t.TempDir(), "bad.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteASCII(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err == nil {
+		t.Error("failed audit must surface as an error")
+	}
+	if !strings.Contains(out.String(), "FAILED") {
+		t.Error("report must mark the failed audit")
+	}
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScalingRunSmall(t *testing.T) {
+	var out bytes.Buffer
+	// A tiny calibration so the test stays fast; the study still prints
+	// the full rank series.
+	err := run([]string{"-n", "24", "-sub", "16", "-max-ranks", "16", "-h0", "0.08", "-hmax", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"calibration run", "speedup", "efficiency", "     16 "} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestScalingBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("unknown flag must fail")
+	}
+}

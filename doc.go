@@ -1,0 +1,14 @@
+// Package pamg2d is a parallel two-dimensional unstructured anisotropic
+// Delaunay mesh generator for aerospace applications, reproducing Pardue &
+// Chernikov (ICPP 2016) from first principles in pure Go.
+//
+// The library lives under internal/: the push-button pipeline is
+// internal/core, the sequential meshing kernel internal/delaunay, the
+// anisotropic boundary-layer generator internal/blayer, the
+// projection-based parallel Delaunay decomposition internal/project, the
+// graded Delaunay decoupling internal/decouple, and the simulated
+// message-passing runtime internal/mpi with the work-stealing balancer
+// internal/loadbal. The benchmarks in bench_test.go regenerate every
+// figure of the paper's evaluation; see DESIGN.md for the experiment
+// index and EXPERIMENTS.md for measured results.
+package pamg2d

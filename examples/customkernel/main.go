@@ -1,0 +1,85 @@
+// Customkernel: use the sequential meshing kernel directly — the layer a
+// downstream user reaches for when they have their own geometry rather
+// than an airfoil. Builds a gear-shaped PSLG with a hole, triangulates it
+// with constrained Delaunay, refines to quality and sizing bounds, and
+// prints the quality statistics before and after refinement.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"pamg2d/internal/delaunay"
+	"pamg2d/internal/geom"
+	"pamg2d/internal/mesh"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A 12-tooth gear outline around the origin with a circular hole.
+	var pts []geom.Point
+	teeth := 12
+	for i := 0; i < teeth*2; i++ {
+		th := 2 * math.Pi * float64(i) / float64(teeth*2)
+		r := 1.0
+		if i%2 == 0 {
+			r = 1.35
+		}
+		pts = append(pts, geom.Pt(r*math.Cos(th), r*math.Sin(th)))
+	}
+	nOuter := len(pts)
+	holeN := 24
+	for i := 0; i < holeN; i++ {
+		th := 2 * math.Pi * float64(i) / float64(holeN)
+		pts = append(pts, geom.Pt(0.4*math.Cos(th), 0.4*math.Sin(th)))
+	}
+	var segs [][2]int32
+	for i := 0; i < nOuter; i++ {
+		segs = append(segs, [2]int32{int32(i), int32((i + 1) % nOuter)})
+	}
+	for i := 0; i < holeN; i++ {
+		segs = append(segs, [2]int32{int32(nOuter + i), int32(nOuter + (i+1)%holeN)})
+	}
+	in := delaunay.Input{Points: pts, Segments: segs, Holes: []geom.Point{geom.Pt(0, 0)}}
+
+	coarse, err := delaunay.Triangulate(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Refine: quality bound sqrt(2) (min angle 20.7 degrees) plus a sizing
+	// function that demands small triangles near the teeth.
+	size := func(p geom.Point) float64 {
+		d := 1.35 - math.Hypot(p.X, p.Y) // distance inward from the tooth tips
+		h := 0.02 + 0.15*math.Abs(d)
+		return math.Sqrt(3) / 4 * h * h
+	}
+	fine, err := delaunay.TriangulateRefined(in, delaunay.Quality{
+		MaxRadiusEdgeRatio: math.Sqrt2,
+		SizeAt:             size,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report := func(name string, r *delaunay.Result) {
+		b := mesh.NewBuilder()
+		for _, t := range r.Triangles {
+			b.AddTriangle(r.Points[t[0]], r.Points[t[1]], r.Points[t[2]])
+		}
+		m := b.Mesh()
+		if err := m.Audit(); err != nil {
+			log.Fatalf("%s failed audit: %v", name, err)
+		}
+		q := m.Quality()
+		fmt.Printf("%-8s %6d triangles  min angle %5.1f deg  worst ratio %.2f  area %.4f\n",
+			name, m.NumTriangles(), q.MinAngleDeg, q.MaxRadiusEdge, m.Area())
+	}
+	fmt.Println("gear with hole: constrained Delaunay + Ruppert refinement")
+	report("coarse", coarse)
+	report("refined", fine)
+	fmt.Println("\nthe refined mesh respects the 20.7-degree Ruppert bound away from")
+	fmt.Println("the gear's own sharp input angles and grades from fine teeth to a")
+	fmt.Println("coarse interior, all with the same kernel the pipeline uses.")
+}

@@ -1,0 +1,3 @@
+module pamg2d
+
+go 1.22

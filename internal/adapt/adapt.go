@@ -1,0 +1,230 @@
+// Package adapt implements the development pipeline of the paper's
+// Figure 1: mesh generation, PDE solution, error analysis, and refinement,
+// iterated. The paper's introduction argues that a well-suited initial
+// mesh reduces the number of trips around this loop; this package provides
+// the loop itself so that claim can be measured (see
+// examples/adaptpipeline).
+//
+// The a posteriori error indicator is the standard cell-centered gradient
+// jump: for each interior face the solution difference across it, weighted
+// by face length, accumulated per cell. The next iteration's sizing
+// function equidistributes the indicator: cells above the mean indicator
+// get proportionally smaller target areas, cells below it larger ones,
+// clamped to a gradation band.
+package adapt
+
+import (
+	"fmt"
+	"math"
+
+	"pamg2d/internal/core"
+	"pamg2d/internal/geom"
+	"pamg2d/internal/mesh"
+	"pamg2d/internal/sizing"
+	"pamg2d/internal/solver"
+)
+
+// Indicator returns the per-cell error indicator for the cell-centered
+// field u on m: eta_i = sqrt(sum over faces of (jump * len)^2)
+// plus the cell's own area weighting, so large smooth cells and small
+// steep cells both register.
+func Indicator(m *mesh.Mesh, u []float64) ([]float64, error) {
+	n := len(m.Triangles)
+	if len(u) != n {
+		return nil, fmt.Errorf("adapt: %d field values for %d cells", len(u), n)
+	}
+	adj := m.Adjacency()
+	eta := make([]float64, n)
+	for i, t := range m.Triangles {
+		for e := 0; e < 3; e++ {
+			nb := adj[i][e]
+			if nb < 0 {
+				continue
+			}
+			elen := m.Points[t[e]].Dist(m.Points[t[(e+1)%3]])
+			jump := (u[i] - u[nb]) * elen
+			eta[i] += jump * jump
+		}
+		eta[i] = math.Sqrt(eta[i])
+	}
+	return eta, nil
+}
+
+// Params tunes the sizing built from an indicator.
+type Params struct {
+	// Aggressiveness scales how strongly the indicator shrinks cells;
+	// target area ~ oldArea * (meanEta/eta)^Aggressiveness. Default 1.
+	Aggressiveness float64
+	// MaxShrink and MaxGrow clamp the per-iteration area change factor;
+	// defaults 1/4 and 2 (refine quickly, coarsen cautiously, the paper's
+	// "gradually and incrementally add more resolution").
+	MaxShrink, MaxGrow float64
+	// FloorArea is the smallest target area ever requested; guards against
+	// runaway refinement at singularities. Default: 1e-6 of the mesh area.
+	FloorArea float64
+}
+
+func (p *Params) defaults(m *mesh.Mesh) {
+	if p.Aggressiveness <= 0 {
+		p.Aggressiveness = 1
+	}
+	if p.MaxShrink <= 0 {
+		p.MaxShrink = 0.25
+	}
+	if p.MaxGrow <= 0 {
+		p.MaxGrow = 2
+	}
+	if p.FloorArea <= 0 {
+		p.FloorArea = 1e-6 * m.Area()
+	}
+}
+
+// SizingFromIndicator builds the next iteration's sizing function: a
+// background-mesh lookup (bucket grid over the old cell centroids) whose
+// target at a point is the containing-region cell's area scaled by the
+// equidistribution factor.
+func SizingFromIndicator(m *mesh.Mesh, eta []float64, p Params) (sizing.Func, error) {
+	n := len(m.Triangles)
+	if len(eta) != n {
+		return nil, fmt.Errorf("adapt: %d indicator values for %d cells", len(eta), n)
+	}
+	p.defaults(m)
+	mean := 0.0
+	for _, e := range eta {
+		mean += e
+	}
+	mean /= float64(n)
+	if mean == 0 {
+		mean = 1
+	}
+
+	centroids := make([]geom.Point, n)
+	target := make([]float64, n)
+	for i, t := range m.Triangles {
+		a, b, c := m.Points[t[0]], m.Points[t[1]], m.Points[t[2]]
+		centroids[i] = geom.Pt((a.X+b.X+c.X)/3, (a.Y+b.Y+c.Y)/3)
+		area := math.Abs(geom.TriangleArea(a, b, c))
+		factor := math.Pow(mean/math.Max(eta[i], 1e-30), p.Aggressiveness)
+		if factor < p.MaxShrink {
+			factor = p.MaxShrink
+		}
+		if factor > p.MaxGrow {
+			factor = p.MaxGrow
+		}
+		target[i] = math.Max(area*factor, p.FloorArea)
+	}
+
+	// Bucket grid over centroids for nearest-cell queries.
+	bb := geom.BBoxOf(m.Points)
+	cell := math.Max(bb.Width(), bb.Height()) / 128
+	if cell <= 0 {
+		cell = 1
+	}
+	grid := map[[2]int][]int32{}
+	key := func(q geom.Point) [2]int {
+		return [2]int{int(math.Floor(q.X / cell)), int(math.Floor(q.Y / cell))}
+	}
+	for i, c := range centroids {
+		grid[key(c)] = append(grid[key(c)], int32(i))
+	}
+
+	return func(q geom.Point) float64 {
+		kc := key(q)
+		best := int32(-1)
+		bestD := math.Inf(1)
+		for ring := 0; ring < 1<<16; ring++ {
+			found := false
+			for dx := -ring; dx <= ring; dx++ {
+				for dy := -ring; dy <= ring; dy++ {
+					if dx > -ring && dx < ring && dy > -ring && dy < ring {
+						continue
+					}
+					for _, ci := range grid[[2]int{kc[0] + dx, kc[1] + dy}] {
+						found = true
+						if d := q.Dist(centroids[ci]); d < bestD {
+							bestD = d
+							best = ci
+						}
+					}
+				}
+			}
+			if best >= 0 && (bestD <= float64(ring)*cell || found && ring > 2) {
+				break
+			}
+		}
+		if best < 0 {
+			return math.Inf(1) // no background cell anywhere near: unconstrained
+		}
+		return target[best]
+	}, nil
+}
+
+// Step records one trip around the pipeline loop.
+type Step struct {
+	Mesh       *mesh.Mesh
+	Solution   *solver.Solution
+	Indicator  []float64
+	TotalError float64
+	Triangles  int
+	Iterations int // solver iterations this step
+}
+
+// Options controls the adaptation loop.
+type Options struct {
+	// Steps is the number of generate-solve-adapt trips.
+	Steps int
+	// Sizing tunes the indicator-to-sizing conversion.
+	Sizing Params
+	// Solver options for each solve.
+	Solver solver.Options
+}
+
+// Loop runs the Figure 1 pipeline: generate a mesh from cfg, solve the
+// problem, estimate the error, build an adapted sizing, and regenerate,
+// Steps times. The problem callback builds the solver setup for a given
+// mesh (boundary conditions usually depend on the geometry, not the mesh,
+// so the callback typically just fills in the Mesh field).
+func Loop(cfg core.Config, problem func(*mesh.Mesh) solver.Problem, opt Options) ([]Step, error) {
+	if opt.Steps < 1 {
+		opt.Steps = 1
+	}
+	if opt.Solver.MaxIters == 0 {
+		opt.Solver = solver.DefaultOptions()
+	}
+	var steps []Step
+	for it := 0; it < opt.Steps; it++ {
+		res, err := core.Generate(cfg)
+		if err != nil {
+			return steps, fmt.Errorf("adapt: step %d generate: %w", it, err)
+		}
+		sol, err := solver.Solve(problem(res.Mesh), opt.Solver)
+		if err != nil {
+			return steps, fmt.Errorf("adapt: step %d solve: %w", it, err)
+		}
+		eta, err := Indicator(res.Mesh, sol.U)
+		if err != nil {
+			return steps, err
+		}
+		total := 0.0
+		for _, e := range eta {
+			total += e * e
+		}
+		steps = append(steps, Step{
+			Mesh:       res.Mesh,
+			Solution:   sol,
+			Indicator:  eta,
+			TotalError: math.Sqrt(total),
+			Triangles:  res.Mesh.NumTriangles(),
+			Iterations: sol.History.Iterations,
+		})
+		if it == opt.Steps-1 {
+			break
+		}
+		next, err := SizingFromIndicator(res.Mesh, eta, opt.Sizing)
+		if err != nil {
+			return steps, err
+		}
+		cfg.CustomSizing = next
+	}
+	return steps, nil
+}

@@ -1,0 +1,161 @@
+package adapt
+
+import (
+	"math"
+	"testing"
+
+	"pamg2d/internal/airfoil"
+	"pamg2d/internal/blayer"
+	"pamg2d/internal/core"
+	"pamg2d/internal/delaunay"
+	"pamg2d/internal/geom"
+	"pamg2d/internal/growth"
+	"pamg2d/internal/mesh"
+	"pamg2d/internal/sizing"
+	"pamg2d/internal/solver"
+)
+
+// squareMesh refines the unit square to the given area.
+func squareMesh(t testing.TB, maxArea float64) *mesh.Mesh {
+	t.Helper()
+	in := delaunay.Input{
+		Points:   []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 1), geom.Pt(0, 1)},
+		Segments: [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 0}},
+	}
+	res, err := delaunay.TriangulateRefined(in, delaunay.Quality{MaxRadiusEdgeRatio: math.Sqrt2, MaxArea: maxArea})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := mesh.NewBuilder()
+	for _, tri := range res.Triangles {
+		b.AddTriangle(res.Points[tri[0]], res.Points[tri[1]], res.Points[tri[2]])
+	}
+	return b.Mesh()
+}
+
+func TestIndicatorFlagsSteepRegion(t *testing.T) {
+	m := squareMesh(t, 0.005)
+	// A synthetic field with a sharp front at x = 0.5.
+	u := make([]float64, m.NumTriangles())
+	for i, tri := range m.Triangles {
+		a, b, c := m.Points[tri[0]], m.Points[tri[1]], m.Points[tri[2]]
+		x := (a.X + b.X + c.X) / 3
+		u[i] = math.Tanh(50 * (x - 0.5))
+	}
+	eta, err := Indicator(m, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nearSum, nearN, farSum, farN float64
+	for i, tri := range m.Triangles {
+		a, b, c := m.Points[tri[0]], m.Points[tri[1]], m.Points[tri[2]]
+		x := (a.X + b.X + c.X) / 3
+		if math.Abs(x-0.5) < 0.05 {
+			nearSum += eta[i]
+			nearN++
+		} else if math.Abs(x-0.5) > 0.3 {
+			farSum += eta[i]
+			farN++
+		}
+	}
+	if nearN == 0 || farN == 0 {
+		t.Fatal("sampling failed")
+	}
+	if nearSum/nearN < 10*(farSum/farN+1e-30) {
+		t.Errorf("front indicator %v not much larger than smooth-region %v",
+			nearSum/nearN, farSum/farN)
+	}
+}
+
+func TestIndicatorSizeMismatch(t *testing.T) {
+	m := squareMesh(t, 0.05)
+	if _, err := Indicator(m, make([]float64, 1)); err == nil {
+		t.Error("size mismatch must fail")
+	}
+}
+
+func TestSizingFromIndicatorShrinksHotCells(t *testing.T) {
+	m := squareMesh(t, 0.01)
+	eta := make([]float64, m.NumTriangles())
+	// Hot spot near (0.2, 0.2).
+	for i, tri := range m.Triangles {
+		a, b, c := m.Points[tri[0]], m.Points[tri[1]], m.Points[tri[2]]
+		x, y := (a.X+b.X+c.X)/3, (a.Y+b.Y+c.Y)/3
+		if math.Hypot(x-0.2, y-0.2) < 0.15 {
+			eta[i] = 100
+		} else {
+			eta[i] = 1
+		}
+	}
+	size, err := SizingFromIndicator(m, eta, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := size(geom.Pt(0.2, 0.2))
+	cold := size(geom.Pt(0.8, 0.8))
+	if hot >= cold {
+		t.Errorf("hot target %v must be smaller than cold target %v", hot, cold)
+	}
+	// Hot cells must shrink versus their current area but respect the
+	// clamp.
+	meanArea := m.Area() / float64(m.NumTriangles())
+	if hot < meanArea*0.2 || hot > meanArea {
+		t.Errorf("hot target %v outside the clamped band around mean area %v", hot, meanArea)
+	}
+}
+
+func TestLoopReducesErrorAndConcentratesCells(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Geometry = airfoil.Single(airfoil.NACA0012, 24, 6)
+	cfg.BL = blayer.Params{
+		Growth:         growth.Geometric{H0: 3e-3, Ratio: 1.35},
+		MaxLayers:      8,
+		MaxAngleDeg:    25,
+		CuspAngleDeg:   60,
+		FanSpacingDeg:  20,
+		FanCurving:     0.5,
+		IsotropyFactor: 1.0,
+		TrimFactor:     1.0,
+	}
+	cfg.SurfaceH0 = 0.1
+	cfg.Gradation = 0.4
+	cfg.HMax = 2.5
+	cfg.Ranks = 1
+	cfg.SubdomainsPerRank = 2
+
+	g, err := cfg.Geometry.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	surf := sizing.NewGraded(g.Surfaces[0].Points, 1, 0, 0)
+	bc := solver.AirfoilBC(func(p geom.Point) bool { return surf.Distance(p) < 0.1 })
+	problem := func(m *mesh.Mesh) solver.Problem {
+		return solver.Problem{Mesh: m, Diffusivity: 0.05, Velocity: geom.V(1, 0), Boundary: bc}
+	}
+	steps, err := Loop(cfg, problem, Options{
+		Steps:  3,
+		Solver: solver.Options{Tol: 1e-8, MaxIters: 100000, Method: solver.GaussSeidel},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 3 {
+		t.Fatalf("steps = %d", len(steps))
+	}
+	// The pipeline claim: refinement concentrates resolution where the
+	// error indicator is high, so the area-normalized total error drops
+	// across iterations even as triangle counts grow moderately.
+	first := steps[0]
+	last := steps[len(steps)-1]
+	if last.Triangles <= first.Triangles {
+		t.Errorf("adaptation did not add resolution: %d -> %d triangles", first.Triangles, last.Triangles)
+	}
+	if last.TotalError >= first.TotalError {
+		t.Errorf("total error did not drop: %v -> %v", first.TotalError, last.TotalError)
+	}
+	for i, st := range steps {
+		if !st.Solution.History.Converged {
+			t.Errorf("step %d solve did not converge", i)
+		}
+	}
+}

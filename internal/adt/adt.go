@@ -1,0 +1,173 @@
+// Package adt implements the Alternating Digital Tree of Bonet & Peraire
+// (1991) for geometric searching. In two dimensions a segment's axis-aligned
+// extent box (xmin, ymin, xmax, ymax) is treated as a point in a
+// four-dimensional unit hypercube; extent-box overlap queries become
+// hyper-rectangular range searches, answered in O(log n) expected time per
+// query. The paper uses the ADT as the second stage of its hierarchical
+// intersection pruning, after the Cohen–Sutherland AABB pass.
+package adt
+
+import "pamg2d/internal/geom"
+
+// Dims is the dimensionality of the digital tree: 2-D extent boxes become
+// 4-D points.
+const Dims = 4
+
+// Key is a point in the 4-D extent space: (xmin, ymin, xmax, ymax).
+type Key [Dims]float64
+
+// KeyOf returns the 4-D key of a 2-D extent box.
+func KeyOf(b geom.BBox) Key {
+	return Key{b.Min.X, b.Min.Y, b.Max.X, b.Max.Y}
+}
+
+// KeyOfSegment returns the 4-D key of a segment's extent box.
+func KeyOfSegment(s geom.Segment) Key {
+	return KeyOf(s.BBox())
+}
+
+type node struct {
+	key         Key
+	id          int
+	left, right *node
+}
+
+// Tree is an alternating digital tree over 4-D points. The tree is built
+// for a fixed root region (the extent space of the whole dataset); points
+// inserted outside the root region are still stored correctly but degrade
+// balance.
+type Tree struct {
+	root   *node
+	lo, hi Key
+	size   int
+}
+
+// New creates a tree whose root region is the given extent-space bounds.
+// The bounds of the region along dimensions 0..3 are [lo[i], hi[i]].
+func New(lo, hi Key) *Tree {
+	for i := 0; i < Dims; i++ {
+		if hi[i] <= lo[i] {
+			hi[i] = lo[i] + 1 // guard against degenerate regions
+		}
+	}
+	return &Tree{lo: lo, hi: hi}
+}
+
+// NewForBox creates a tree sized for extent boxes contained in the 2-D
+// world box b: dimensions 0 and 2 span b's x range, 1 and 3 its y range.
+func NewForBox(b geom.BBox) *Tree {
+	return New(
+		Key{b.Min.X, b.Min.Y, b.Min.X, b.Min.Y},
+		Key{b.Max.X, b.Max.Y, b.Max.X, b.Max.Y},
+	)
+}
+
+// Len returns the number of stored keys.
+func (t *Tree) Len() int { return t.size }
+
+// Insert stores key k with payload id.
+func (t *Tree) Insert(k Key, id int) {
+	t.size++
+	nn := &node{key: k, id: id}
+	if t.root == nil {
+		t.root = nn
+		return
+	}
+	lo, hi := t.lo, t.hi
+	cur := t.root
+	for depth := 0; ; depth++ {
+		dim := depth % Dims
+		mid := (lo[dim] + hi[dim]) / 2
+		if k[dim] < mid {
+			hi[dim] = mid
+			if cur.left == nil {
+				cur.left = nn
+				return
+			}
+			cur = cur.left
+		} else {
+			lo[dim] = mid
+			if cur.right == nil {
+				cur.right = nn
+				return
+			}
+			cur = cur.right
+		}
+	}
+}
+
+// InsertBox stores a 2-D extent box with payload id.
+func (t *Tree) InsertBox(b geom.BBox, id int) { t.Insert(KeyOf(b), id) }
+
+// Range reports, via visit, the ids of all stored keys k with
+// qlo[i] <= k[i] <= qhi[i] for every dimension i. Returning false from
+// visit stops the search early.
+func (t *Tree) Range(qlo, qhi Key, visit func(id int) bool) {
+	t.search(t.root, t.lo, t.hi, 0, qlo, qhi, visit)
+}
+
+func (t *Tree) search(n *node, lo, hi Key, depth int, qlo, qhi Key, visit func(int) bool) bool {
+	if n == nil {
+		return true
+	}
+	inside := true
+	for i := 0; i < Dims; i++ {
+		if n.key[i] < qlo[i] || n.key[i] > qhi[i] {
+			inside = false
+			break
+		}
+	}
+	if inside && !visit(n.id) {
+		return false
+	}
+	dim := depth % Dims
+	mid := (lo[dim] + hi[dim]) / 2
+	// Left child region: [lo, hi with hi[dim]=mid]. Visit if it overlaps
+	// the query range along dim.
+	if n.left != nil && qlo[dim] < mid {
+		nhi := hi
+		nhi[dim] = mid
+		if !t.search(n.left, lo, nhi, depth+1, qlo, qhi, visit) {
+			return false
+		}
+	}
+	if n.right != nil && qhi[dim] >= mid {
+		nlo := lo
+		nlo[dim] = mid
+		if !t.search(n.right, nlo, hi, depth+1, qlo, qhi, visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// Overlapping returns the ids of all stored extent boxes that overlap the
+// query box q (boundaries count). A stored box P overlaps q iff
+// P.xmin <= q.xmax, P.xmax >= q.xmin, P.ymin <= q.ymax and P.ymax >= q.ymin;
+// expressed as a 4-D range query this is
+//
+//	xmin in [-inf, q.xmax], ymin in [-inf, q.ymax],
+//	xmax in [q.xmin, +inf], ymax in [q.ymin, +inf],
+//
+// clipped to the root region.
+func (t *Tree) Overlapping(q geom.BBox) []int {
+	var out []int
+	t.VisitOverlapping(q, func(id int) bool {
+		out = append(out, id)
+		return true
+	})
+	return out
+}
+
+// VisitOverlapping is like Overlapping but streams ids through visit;
+// returning false stops the search.
+func (t *Tree) VisitOverlapping(q geom.BBox, visit func(id int) bool) {
+	qlo := Key{t.lo[0], t.lo[1], q.Min.X, q.Min.Y}
+	qhi := Key{q.Max.X, q.Max.Y, t.hi[2], t.hi[3]}
+	// Extend the open sides beyond the root region so boxes inserted
+	// slightly outside it are still found.
+	const slack = 1e30
+	qlo[0], qlo[1] = -slack, -slack
+	qhi[2], qhi[3] = slack, slack
+	t.Range(qlo, qhi, visit)
+}

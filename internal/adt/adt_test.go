@@ -1,0 +1,221 @@
+package adt
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pamg2d/internal/geom"
+)
+
+func randBox(rng *rand.Rand, world geom.BBox, maxSize float64) geom.BBox {
+	w, h := world.Width(), world.Height()
+	x := world.Min.X + rng.Float64()*w
+	y := world.Min.Y + rng.Float64()*h
+	return geom.BBox{
+		Min: geom.Pt(x, y),
+		Max: geom.Pt(x+rng.Float64()*maxSize, y+rng.Float64()*maxSize),
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := NewForBox(geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)})
+	if tr.Len() != 0 {
+		t.Error("new tree must be empty")
+	}
+	if got := tr.Overlapping(geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)}); len(got) != 0 {
+		t.Errorf("query on empty tree: %v", got)
+	}
+}
+
+func TestSingleBox(t *testing.T) {
+	world := geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(10, 10)}
+	tr := NewForBox(world)
+	b := geom.BBox{Min: geom.Pt(2, 2), Max: geom.Pt(4, 4)}
+	tr.InsertBox(b, 7)
+	if got := tr.Overlapping(geom.BBox{Min: geom.Pt(3, 3), Max: geom.Pt(5, 5)}); len(got) != 1 || got[0] != 7 {
+		t.Errorf("overlapping query: %v, want [7]", got)
+	}
+	if got := tr.Overlapping(geom.BBox{Min: geom.Pt(5, 5), Max: geom.Pt(6, 6)}); len(got) != 0 {
+		t.Errorf("disjoint query: %v, want []", got)
+	}
+	// Touching boundaries count.
+	if got := tr.Overlapping(geom.BBox{Min: geom.Pt(4, 4), Max: geom.Pt(6, 6)}); len(got) != 1 {
+		t.Errorf("touching query: %v, want [7]", got)
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	world := geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(10, 10)}
+	tr := NewForBox(world)
+	b := geom.BBox{Min: geom.Pt(1, 1), Max: geom.Pt(2, 2)}
+	for i := 0; i < 10; i++ {
+		tr.InsertBox(b, i)
+	}
+	got := tr.Overlapping(b)
+	if len(got) != 10 {
+		t.Errorf("duplicate keys: found %d of 10", len(got))
+	}
+}
+
+func TestOverlappingMatchesBruteForce(t *testing.T) {
+	world := geom.BBox{Min: geom.Pt(-5, -5), Max: geom.Pt(15, 15)}
+	rng := rand.New(rand.NewSource(11))
+	tr := NewForBox(world)
+	boxes := make([]geom.BBox, 500)
+	for i := range boxes {
+		boxes[i] = randBox(rng, world, 3)
+		tr.InsertBox(boxes[i], i)
+	}
+	for trial := 0; trial < 200; trial++ {
+		q := randBox(rng, world, 5)
+		var want []int
+		for i, b := range boxes {
+			if b.Intersects(q) {
+				want = append(want, i)
+			}
+		}
+		got := tr.Overlapping(q)
+		sort.Ints(got)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d ids, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: got %v, want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestBoxesOutsideRootRegion(t *testing.T) {
+	// Boxes inserted outside the declared root region must still be found.
+	world := geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)}
+	tr := NewForBox(world)
+	outlier := geom.BBox{Min: geom.Pt(5, 5), Max: geom.Pt(6, 6)}
+	tr.InsertBox(outlier, 99)
+	got := tr.Overlapping(geom.BBox{Min: geom.Pt(4, 4), Max: geom.Pt(7, 7)})
+	if len(got) != 1 || got[0] != 99 {
+		t.Errorf("outlier box: got %v, want [99]", got)
+	}
+}
+
+func TestVisitEarlyStop(t *testing.T) {
+	world := geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(10, 10)}
+	tr := NewForBox(world)
+	b := geom.BBox{Min: geom.Pt(1, 1), Max: geom.Pt(2, 2)}
+	for i := 0; i < 100; i++ {
+		tr.InsertBox(b, i)
+	}
+	count := 0
+	tr.VisitOverlapping(b, func(id int) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop: visited %d, want 5", count)
+	}
+}
+
+func TestSegmentKeys(t *testing.T) {
+	s := geom.Segment{A: geom.Pt(3, 1), B: geom.Pt(1, 4)}
+	k := KeyOfSegment(s)
+	if k != (Key{1, 1, 3, 4}) {
+		t.Errorf("KeyOfSegment = %v", k)
+	}
+}
+
+func TestDegenerateRootRegion(t *testing.T) {
+	// A root region with zero extent must not cause infinite descent.
+	tr := New(Key{0, 0, 0, 0}, Key{0, 0, 0, 0})
+	for i := 0; i < 50; i++ {
+		tr.Insert(Key{0, 0, 0, 0}, i)
+	}
+	n := 0
+	tr.Range(Key{-1, -1, -1, -1}, Key{1, 1, 1, 1}, func(int) bool { n++; return true })
+	if n != 50 {
+		t.Errorf("degenerate region: found %d of 50", n)
+	}
+}
+
+// Property: ADT range query agrees with brute force for random data.
+func TestRangeQueryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		world := geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(100, 100)}
+		tr := NewForBox(world)
+		n := 100
+		boxes := make([]geom.BBox, n)
+		for i := range boxes {
+			boxes[i] = randBox(rng, world, 10)
+			tr.InsertBox(boxes[i], i)
+		}
+		q := randBox(rng, world, 30)
+		got := tr.Overlapping(q)
+		want := 0
+		for _, b := range boxes {
+			if b.Intersects(q) {
+				want++
+			}
+		}
+		return len(got) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkADTInsert(b *testing.B) {
+	world := geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(100, 100)}
+	rng := rand.New(rand.NewSource(1))
+	boxes := make([]geom.BBox, 4096)
+	for i := range boxes {
+		boxes[i] = randBox(rng, world, 2)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%4096 == 0 {
+			b.StopTimer()
+			// Fresh tree every pass to keep depth realistic.
+			b.StartTimer()
+		}
+		tr := NewForBox(world)
+		for j, bx := range boxes {
+			tr.InsertBox(bx, j)
+		}
+		i += 4095
+	}
+}
+
+func BenchmarkADTQueryVsBruteForce(b *testing.B) {
+	world := geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(100, 100)}
+	rng := rand.New(rand.NewSource(1))
+	n := 10000
+	tr := NewForBox(world)
+	boxes := make([]geom.BBox, n)
+	for i := range boxes {
+		boxes[i] = randBox(rng, world, 1)
+		tr.InsertBox(boxes[i], i)
+	}
+	q := randBox(rng, world, 5)
+	b.Run("adt", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr.Overlapping(q)
+		}
+	})
+	b.Run("brute", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var out []int
+			for j, bx := range boxes {
+				if bx.Intersects(q) {
+					out = append(out, j)
+				}
+			}
+			_ = out
+		}
+	})
+}

@@ -1,0 +1,71 @@
+package blayer
+
+import (
+	"testing"
+
+	"pamg2d/internal/geom"
+	"pamg2d/internal/growth"
+	"pamg2d/internal/pslg"
+)
+
+func TestSmoothCounts(t *testing.T) {
+	counts := []int{10, 10, 2, 10, 10, 10}
+	smoothCounts(counts, 2)
+	n := len(counts)
+	for i := 0; i < n; i++ {
+		d := counts[i] - counts[(i+1)%n]
+		if d < 0 {
+			d = -d
+		}
+		if d > 2 {
+			t.Fatalf("neighbor difference %d at %d: %v", d, i, counts)
+		}
+	}
+	// The dip itself must be preserved (smoothing only reduces).
+	if counts[2] != 2 {
+		t.Errorf("the minimum must not grow: %v", counts)
+	}
+	// Expected shape: 6 4 2 4 6 8? cyclic: index 5 neighbors 4 and 0.
+	want := []int{6, 4, 2, 4, 6, 8}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", counts, want)
+		}
+	}
+}
+
+func TestSmoothCountsDisabled(t *testing.T) {
+	counts := []int{10, 1, 10}
+	orig := append([]int{}, counts...)
+	smoothCounts(counts, 0)
+	for i := range counts {
+		if counts[i] != orig[i] {
+			t.Fatal("limit 0 must not modify counts")
+		}
+	}
+}
+
+func TestSmoothLayersInGeneration(t *testing.T) {
+	// A square with one ray trimmed hard (via a nearby obstacle square)
+	// would create a cliff; with SmoothLayers the neighbor layer counts
+	// step down gradually.
+	a := pslg.Loop{Name: "a", Points: subdiv([]geom.Point{
+		geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 1), geom.Pt(0, 1)}, 16)}
+	g := &pslg.Graph{Surfaces: []pslg.Loop{a}}
+	p := smoothParams()
+	p.Growth = growth.Geometric{H0: 0.02, Ratio: 1.3}
+	p.MaxLayers = 12
+	p.SmoothLayers = 1
+	layers := Generate(g, p)
+	l := layers[0]
+	n := len(l.Points)
+	for i := 0; i < n; i++ {
+		d := len(l.Points[i]) - len(l.Points[(i+1)%n])
+		if d < 0 {
+			d = -d
+		}
+		if d > 1 {
+			t.Fatalf("layer-count cliff of %d between rays %d and %d", d, i, (i+1)%n)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package core is the push-button parallel anisotropic mesh generator —
+// the paper's "application". Given an airfoil configuration and
+// boundary-layer parameters it runs the full pipeline without further
+// interaction:
+//
+//  1. build and validate the PSLG;
+//  2. generate the anisotropic boundary layer (extrusion along normals,
+//     large-angle refinement, cusp fans, self-/multi-element intersection
+//     resolution);
+//  3. triangulate the boundary-layer points in parallel with the
+//     projection-based decomposition, each leaf on some rank, merged by
+//     the circumcenter-region rule;
+//  4. mesh the transition region between the boundary layer's outer
+//     boundary and the near-body box;
+//  5. decouple the inviscid annulus into graded Delaunay subdomains and
+//     refine them independently on the ranks;
+//  6. gather everything at the root and merge into the final mesh.
+//
+// Steps 3 and 5 run under the work-stealing load balancer on the
+// simulated MPI runtime; all task processing is timed so the
+// strong-scaling performance model can be calibrated from real kernel
+// costs.
+package core
+
+import (
+	"time"
+
+	"pamg2d/internal/airfoil"
+	"pamg2d/internal/blayer"
+	"pamg2d/internal/loadbal"
+	"pamg2d/internal/pslg"
+	"pamg2d/internal/sizing"
+)
+
+// Config is the push-button input: geometry plus boundary-layer
+// parameters, as the paper's conclusion describes.
+type Config struct {
+	// Geometry is the airfoil configuration (elements + far field).
+	Geometry airfoil.Config
+	// CustomGraph, when non-nil, overrides Geometry with an arbitrary
+	// validated PSLG (for example one read from a .poly file). It must
+	// contain a far-field loop.
+	CustomGraph *pslg.Graph
+	// BL are the boundary-layer extrusion parameters.
+	BL blayer.Params
+	// SurfaceH0 is the target isotropic edge length at the body surface
+	// (drives the graded sizing function).
+	SurfaceH0 float64
+	// Gradation is the sizing growth rate with distance from the body.
+	Gradation float64
+	// HMax caps the far-field edge length.
+	HMax float64
+	// Ranks is the number of simulated MPI ranks.
+	Ranks int
+	// SubdomainsPerRank sets the decoupling target (the paper
+	// over-decomposes for load balancing); default 4.
+	SubdomainsPerRank int
+	// NearBodyMargin inflates the boundary-layer bounding box to form the
+	// near-body box, in multiples of the box diagonal; default 0.25.
+	NearBodyMargin float64
+	// CustomSizing, when non-nil, replaces the graded sizing function
+	// derived from SurfaceH0/Gradation/HMax for the transition and
+	// inviscid regions (the adaptation loop of Figure 1 supplies a sizing
+	// built from the previous solution's error indicator).
+	CustomSizing sizing.Func
+	// InviscidKernel selects the mesher used for the decoupled inviscid
+	// subdomains: KernelRuppert (default, the paper's Triangle role) or
+	// KernelAdvancingFront (the related-work baseline). Both preserve the
+	// decoupled borders, so the merged mesh stays conforming either way.
+	InviscidKernel Kernel
+	// TransitionSectors splits the transition annulus into this many
+	// angular sectors so the near-body region parallelizes too (0 = auto
+	// from the rank and subdomain counts; 1 = single task). Sector
+	// decomposition silently falls back to a single task when the
+	// boundary-layer outer boundary is not a single simple loop.
+	TransitionSectors int
+}
+
+// Kernel identifies a sequential meshing kernel for the inviscid regions.
+type Kernel int
+
+const (
+	// KernelRuppert is constrained Delaunay + Ruppert refinement.
+	KernelRuppert Kernel = iota
+	// KernelAdvancingFront is the advancing-front baseline.
+	KernelAdvancingFront
+)
+
+// DefaultConfig returns a working configuration for a NACA 0012 at the
+// given surface resolution.
+func DefaultConfig() Config {
+	return Config{
+		Geometry:          airfoil.Single(airfoil.NACA0012, 64, 30),
+		BL:                blayer.DefaultParams(),
+		SurfaceH0:         0.02,
+		Gradation:         0.15,
+		HMax:              4.0,
+		Ranks:             4,
+		SubdomainsPerRank: 4,
+		NearBodyMargin:    0.25,
+	}
+}
+
+// PhaseTimes records the pipeline phase wall times; the sequential phases
+// feed the performance model's Amdahl fraction.
+type PhaseTimes struct {
+	Validate  time.Duration
+	Boundary  time.Duration
+	Decompose time.Duration
+	Parallel  time.Duration
+	Merge     time.Duration
+	Total     time.Duration
+}
+
+// TaskMeasure is one task's measured execution, the calibration input of
+// the strong-scaling model.
+type TaskMeasure struct {
+	Seconds       float64
+	Bytes         int64
+	BoundaryLayer bool
+	Triangles     int
+}
+
+// Stats summarizes a pipeline run.
+type Stats struct {
+	SurfacePoints    int
+	BoundaryLayerPts int
+	BLTriangles      int
+	TransitionTris   int
+	InviscidTris     int
+	TotalTriangles   int
+	BLLayerStats     []blayer.Stats
+	Tasks            []TaskMeasure
+	LoadBalance      []loadbal.Stats
+	Times            PhaseTimes
+	Messages         int64
+	BytesOnWire      int64
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"pamg2d/internal/airfoil"
+	"pamg2d/internal/blayer"
+	"pamg2d/internal/growth"
+)
+
+// smallConfig is a fast NACA 0012 configuration for tests.
+func smallConfig(ranks int) Config {
+	cfg := DefaultConfig()
+	cfg.Geometry = airfoil.Single(airfoil.NACA0012, 32, 10)
+	cfg.BL = blayer.Params{
+		Growth:         growth.Geometric{H0: 2e-3, Ratio: 1.3},
+		MaxLayers:      12,
+		MaxAngleDeg:    25,
+		CuspAngleDeg:   60,
+		FanSpacingDeg:  20,
+		FanCurving:     0.5,
+		IsotropyFactor: 1.0,
+		TrimFactor:     1.0,
+	}
+	cfg.SurfaceH0 = 0.06
+	cfg.Gradation = 0.3
+	cfg.HMax = 3
+	cfg.Ranks = ranks
+	cfg.SubdomainsPerRank = 2
+	return cfg
+}
+
+func TestGenerateSingleRank(t *testing.T) {
+	res, err := Generate(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mesh.NumTriangles() < 500 {
+		t.Errorf("mesh has only %d triangles", res.Mesh.NumTriangles())
+	}
+	if res.Stats.BLTriangles == 0 || res.Stats.InviscidTris == 0 || res.Stats.TransitionTris == 0 {
+		t.Errorf("phase counts: %+v", res.Stats)
+	}
+	if res.Stats.TotalTriangles != res.Mesh.NumTriangles() {
+		t.Error("stats triangle count mismatch")
+	}
+}
+
+func TestGenerateMultiRankMatchesSingle(t *testing.T) {
+	r1, err := Generate(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Generate(smallConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The decompositions differ slightly with rank count (decoupling
+	// target scales with ranks), but the boundary-layer part is identical
+	// and totals must be in the same ballpark.
+	if r1.Stats.BLTriangles != r4.Stats.BLTriangles {
+		t.Errorf("BL triangles differ: %d vs %d (the BL mesh is deterministic)",
+			r1.Stats.BLTriangles, r4.Stats.BLTriangles)
+	}
+	ratio := float64(r4.Mesh.NumTriangles()) / float64(r1.Mesh.NumTriangles())
+	if ratio < 0.8 || ratio > 1.3 {
+		t.Errorf("triangle counts diverge: %d vs %d", r1.Mesh.NumTriangles(), r4.Mesh.NumTriangles())
+	}
+}
+
+func TestGenerateCoversDomain(t *testing.T) {
+	cfg := smallConfig(2)
+	res, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total area = far-field box minus airfoil area.
+	g, err := cfg.Geometry.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffArea := g.Farfield.SignedArea()
+	bodyArea := 0.0
+	for i := range g.Surfaces {
+		bodyArea += math.Abs(g.Surfaces[i].SignedArea())
+	}
+	// The boundary-layer surface refinement may slightly alter the body
+	// polygon; tolerance is generous.
+	want := ffArea - bodyArea
+	got := res.Mesh.Area()
+	if math.Abs(got-want) > 0.01*want {
+		t.Errorf("mesh area %v, want ~%v", got, want)
+	}
+}
+
+func TestGenerateAnisotropy(t *testing.T) {
+	res, err := Generate(smallConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := res.Mesh.Quality()
+	// The boundary layer must contain strongly anisotropic elements.
+	if q.MaxAspectRatio < 5 {
+		t.Errorf("max aspect ratio %v; boundary layer missing?", q.MaxAspectRatio)
+	}
+}
+
+func TestGenerateTaskMeasurements(t *testing.T) {
+	res, err := Generate(smallConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.Tasks) < 5 {
+		t.Fatalf("only %d task measurements", len(res.Stats.Tasks))
+	}
+	blTasks, invTasks := 0, 0
+	for _, tm := range res.Stats.Tasks {
+		if tm.Seconds < 0 {
+			t.Error("negative task time")
+		}
+		if tm.BoundaryLayer {
+			blTasks++
+		} else {
+			invTasks++
+		}
+	}
+	if blTasks == 0 || invTasks == 0 {
+		t.Errorf("task mix: %d BL, %d inviscid", blTasks, invTasks)
+	}
+	if res.Stats.Messages == 0 || res.Stats.BytesOnWire == 0 {
+		t.Error("no communication recorded")
+	}
+}
+
+func TestSequentialBaseline(t *testing.T) {
+	cfg := smallConfig(1)
+	m, err := SequentialBaseline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The baseline must produce no more triangles than the pipeline (the
+	// decoupling paths only add elements), and be within 25%.
+	nb, np := m.NumTriangles(), res.Mesh.NumTriangles()
+	if nb > np {
+		t.Errorf("baseline %d triangles > pipeline %d; decoupling should only add", nb, np)
+	}
+	if float64(np-nb) > 0.25*float64(np) {
+		t.Errorf("baseline %d and pipeline %d diverge too much", nb, np)
+	}
+}
+
+func TestIsotropicBaselineHasMoreElements(t *testing.T) {
+	cfg := smallConfig(1)
+	aniso, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iso, err := IsotropicBaseline(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even at a relaxed resolution factor, resolving the near-wall region
+	// isotropically must cost substantially more elements (the paper
+	// measures 14.7x at factor 1).
+	ratio := float64(iso.NumTriangles()) / float64(aniso.Mesh.NumTriangles())
+	if ratio < 1.5 {
+		t.Errorf("isotropic/anisotropic element ratio %v; want > 1.5 at factor 4 (paper: 14.7 at factor 1)", ratio)
+	}
+	// And the isotropic mesh must satisfy the 20.7 degree bound away from
+	// the airfoil's own small input angles.
+	q := iso.Quality()
+	if q.MaxAspectRatio > 50 {
+		t.Errorf("isotropic mesh contains highly anisotropic elements (aspect %v)", q.MaxAspectRatio)
+	}
+}
+
+func TestGenerateThreeElement(t *testing.T) {
+	cfg := smallConfig(2)
+	cfg.Geometry = airfoil.ThreeElement(36)
+	cfg.Geometry.FarfieldChords = 8
+	res, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mesh.NumTriangles() < 1000 {
+		t.Errorf("three-element mesh has only %d triangles", res.Mesh.NumTriangles())
+	}
+	if len(res.Stats.BLLayerStats) != 3 {
+		t.Errorf("expected 3 per-element BL stats, got %d", len(res.Stats.BLLayerStats))
+	}
+	fans := 0
+	for _, s := range res.Stats.BLLayerStats {
+		fans += s.FanRays
+	}
+	if fans == 0 {
+		t.Error("three-element config must produce cusp fans")
+	}
+}
+
+func TestNearBodyMustFitInFarfield(t *testing.T) {
+	cfg := smallConfig(1)
+	cfg.Geometry.FarfieldChords = 0.2 // far field too tight
+	if _, err := Generate(cfg); err == nil {
+		t.Error("near-body box outside the far field must fail")
+	}
+}
+
+func TestGenerateAdvancingFrontKernel(t *testing.T) {
+	cfg := smallConfig(2)
+	cfg.InviscidKernel = KernelAdvancingFront
+	res, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The merged mesh must still audit cleanly: the advancing front never
+	// touches the decoupled borders, so conformity holds.
+	if res.Stats.InviscidTris == 0 {
+		t.Fatal("no inviscid triangles from the AF kernel")
+	}
+	ruppert, err := Generate(smallConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(res.Stats.InviscidTris) / float64(ruppert.Stats.InviscidTris)
+	if ratio < 0.3 || ratio > 3 {
+		t.Errorf("AF inviscid count %d vs Ruppert %d diverge too much",
+			res.Stats.InviscidTris, ruppert.Stats.InviscidTris)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	// Two runs of the same configuration must agree exactly: the pipeline
+	// contains no randomness and no map-iteration-order dependence in any
+	// quantity that reaches the mesh.
+	cfg := smallConfig(3)
+	r1, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Mesh.NumTriangles() != r2.Mesh.NumTriangles() {
+		t.Errorf("triangle counts differ: %d vs %d", r1.Mesh.NumTriangles(), r2.Mesh.NumTriangles())
+	}
+	if math.Abs(r1.Mesh.Area()-r2.Mesh.Area()) > 1e-12*r1.Mesh.Area() {
+		t.Errorf("areas differ: %v vs %v", r1.Mesh.Area(), r2.Mesh.Area())
+	}
+	q1, q2 := r1.Mesh.Quality(), r2.Mesh.Quality()
+	if q1.MinAngleDeg != q2.MinAngleDeg || q1.MaxAspectRatio != q2.MaxAspectRatio {
+		t.Errorf("quality differs: %+v vs %+v", q1, q2)
+	}
+}

@@ -1,0 +1,47 @@
+package core_test
+
+import (
+	"fmt"
+
+	"pamg2d/internal/airfoil"
+	"pamg2d/internal/blayer"
+	"pamg2d/internal/core"
+	"pamg2d/internal/growth"
+)
+
+// ExampleGenerate runs the complete push-button pipeline on a small
+// NACA 0012 configuration across two simulated ranks.
+func ExampleGenerate() {
+	cfg := core.DefaultConfig()
+	cfg.Geometry = airfoil.Single(airfoil.NACA0012, 24, 6)
+	cfg.BL = blayer.Params{
+		Growth:         growth.Geometric{H0: 3e-3, Ratio: 1.35},
+		MaxLayers:      8,
+		MaxAngleDeg:    25,
+		CuspAngleDeg:   60,
+		FanSpacingDeg:  20,
+		FanCurving:     0.5,
+		IsotropyFactor: 1,
+		TrimFactor:     1,
+	}
+	cfg.SurfaceH0 = 0.1
+	cfg.Gradation = 0.4
+	cfg.HMax = 2.5
+	cfg.Ranks = 2
+	cfg.SubdomainsPerRank = 2
+
+	res, err := core.Generate(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("mesh audited:", res.Mesh.NumTriangles() > 0)
+	fmt.Println("has boundary layer:", res.Stats.BLTriangles > 0)
+	fmt.Println("has inviscid region:", res.Stats.InviscidTris > 0)
+	fmt.Println("anisotropic:", res.Mesh.Quality().MaxAspectRatio > 3)
+	// Output:
+	// mesh audited: true
+	// has boundary layer: true
+	// has inviscid region: true
+	// anisotropic: true
+}

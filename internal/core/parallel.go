@@ -1,0 +1,435 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pamg2d/internal/blayer"
+	"pamg2d/internal/decouple"
+	"pamg2d/internal/delaunay"
+	"pamg2d/internal/front"
+	"pamg2d/internal/geom"
+	"pamg2d/internal/loadbal"
+	"pamg2d/internal/mpi"
+	"pamg2d/internal/project"
+	"pamg2d/internal/sizing"
+)
+
+// Message tags of the pipeline's own protocol (distinct from the
+// balancer's range).
+const (
+	tagResult = iota + 200
+)
+
+// taskKind distinguishes the payload encodings.
+const (
+	kindBLLeaf = iota
+	kindTransition
+	kindInviscid
+	kindRayBatch
+)
+
+// encodeBLLeaf serializes a projection-decomposition leaf: kind, the
+// owned circumcenter region, then the x-sorted points.
+func encodeBLLeaf(leaf *project.Subdomain) []byte {
+	vals := []float64{kindBLLeaf,
+		leaf.Region.MinX, leaf.Region.MaxX, leaf.Region.MinY, leaf.Region.MaxY}
+	for _, v := range leaf.XS {
+		vals = append(vals, v.P.X, v.P.Y)
+	}
+	return mpi.EncodeFloats(vals)
+}
+
+// encodeBorder serializes a transition input or inviscid region border.
+func encodeRegionTask(kind int, pts []geom.Point, segs [][2]int32, holes []geom.Point) []byte {
+	vals := []float64{float64(kind), float64(len(pts)), float64(len(segs)), float64(len(holes))}
+	for _, p := range pts {
+		vals = append(vals, p.X, p.Y)
+	}
+	for _, s := range segs {
+		vals = append(vals, float64(s[0]), float64(s[1]))
+	}
+	for _, h := range holes {
+		vals = append(vals, h.X, h.Y)
+	}
+	return mpi.EncodeFloats(vals)
+}
+
+// taskCtx carries the shared read-only context every task needs.
+type taskCtx struct {
+	frame  geom.BBox
+	size   sizing.Func
+	kernel Kernel
+	bl     blayer.Params
+}
+
+// processTask executes a task payload and returns the produced floats:
+// triangles as 6 values each for meshing tasks, flat point coordinates for
+// ray-insertion batches.
+func processTask(payload []byte, frame geom.BBox, size sizing.Func) ([]float64, error) {
+	return processTaskCtx(payload, taskCtx{frame: frame, size: size})
+}
+
+// processTaskCtx is processTask with the full shared context.
+func processTaskCtx(payload []byte, ctx taskCtx) ([]float64, error) {
+	frame := ctx.frame
+	size := ctx.size
+	kernel := ctx.kernel
+	vals := mpi.DecodeFloats(payload)
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("core: empty task payload")
+	}
+	switch int(vals[0]) {
+	case kindRayBatch:
+		nRays := int(vals[1])
+		off := 2
+		var out []float64
+		for i := 0; i < nRays; i++ {
+			r := blayer.Ray{
+				Origin:      geom.Pt(vals[off], vals[off+1]),
+				Dir:         geom.V(vals[off+2], vals[off+3]),
+				MaxLen:      vals[off+4],
+				Tangential:  vals[off+5],
+				Fan:         vals[off+6] != 0,
+				FanBisector: geom.V(vals[off+7], vals[off+8]),
+			}
+			count := int(vals[off+9])
+			off += 10
+			for _, q := range blayer.InsertRay(&r, ctx.bl, count) {
+				out = append(out, q.X, q.Y)
+			}
+		}
+		return out, nil
+	case kindBLLeaf:
+		region := project.Rect{MinX: vals[1], MaxX: vals[2], MinY: vals[3], MaxY: vals[4]}
+		coords := vals[5:]
+		pts := make([]geom.Point, len(coords)/2)
+		for i := range pts {
+			pts[i] = geom.Pt(coords[2*i], coords[2*i+1])
+		}
+		if len(pts) < 3 {
+			return nil, nil
+		}
+		res, err := delaunay.Triangulate(delaunay.Input{Points: pts, Sorted: true, Frame: frame})
+		if err != nil {
+			return nil, err
+		}
+		var out []float64
+		for _, tri := range res.Triangles {
+			a, b, c := res.Points[tri[0]], res.Points[tri[1]], res.Points[tri[2]]
+			if region.Contains(geom.Circumcenter(a, b, c)) {
+				out = append(out, a.X, a.Y, b.X, b.Y, c.X, c.Y)
+			}
+		}
+		return out, nil
+	case kindTransition, kindInviscid:
+		np := int(vals[1])
+		useAF := kernel == KernelAdvancingFront && int(vals[0]) == kindInviscid
+		ns := int(vals[2])
+		nh := int(vals[3])
+		off := 4
+		in := delaunay.Input{Frame: frame}
+		for i := 0; i < np; i++ {
+			in.Points = append(in.Points, geom.Pt(vals[off+2*i], vals[off+2*i+1]))
+		}
+		off += 2 * np
+		for i := 0; i < ns; i++ {
+			in.Segments = append(in.Segments, [2]int32{int32(vals[off+2*i]), int32(vals[off+2*i+1])})
+		}
+		off += 2 * ns
+		for i := 0; i < nh; i++ {
+			in.Holes = append(in.Holes, geom.Pt(vals[off+2*i], vals[off+2*i+1]))
+		}
+		if useAF {
+			// The decoupled region's border is one closed CCW loop already
+			// discretized at the k-rule spacing, which is finer than the
+			// sizing target, so the advancing front adds no border points
+			// and conformity with the neighbors is preserved.
+			m, err := front.Mesh([][]geom.Point{in.Points}, front.Options{SizeAt: size})
+			if err != nil {
+				return nil, err
+			}
+			out := make([]float64, 0, 6*m.NumTriangles())
+			for _, tri := range m.Triangles {
+				a, b, c := m.Points[tri[0]], m.Points[tri[1]], m.Points[tri[2]]
+				out = append(out, a.X, a.Y, b.X, b.Y, c.X, c.Y)
+			}
+			return out, nil
+		}
+		res, err := delaunay.TriangulateRefined(in, qualityFor(size))
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, 0, 6*len(res.Triangles))
+		for _, tri := range res.Triangles {
+			a, b, c := res.Points[tri[0]], res.Points[tri[1]], res.Points[tri[2]]
+			out = append(out, a.X, a.Y, b.X, b.Y, c.X, c.Y)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("core: unknown task kind %v", vals[0])
+	}
+}
+
+// runPhase executes the given tasks under the load balancer on a fresh
+// world and returns each task's result floats (indexed by task ID) as
+// collected at the root.
+func runPhase(cfg Config, tasks []loadbal.Task, ctx taskCtx, st *Stats) ([][]float64, error) {
+	world := mpi.NewWorld(cfg.Ranks)
+	win := world.NewWindow(cfg.Ranks)
+
+	// Deal tasks round-robin (the root would send them in a distributed
+	// setting; the payload bytes are already accounted by the result
+	// sends).
+	initial := make([][]loadbal.Task, cfg.Ranks)
+	for i, t := range tasks {
+		r := i % cfg.Ranks
+		initial[r] = append(initial[r], t)
+	}
+
+	var mu sync.Mutex
+	measures := make([]TaskMeasure, len(tasks))
+	balStats := make([]loadbal.Stats, cfg.Ranks)
+	var firstErr error
+
+	opt := loadbal.DefaultOptions(totalCost(tasks), cfg.Ranks)
+	err := world.Run(func(c *mpi.Comm) {
+		bs := loadbal.Run(c, win, initial[c.Rank()], len(tasks), opt, func(task loadbal.Task) {
+			t0 := time.Now()
+			tris, err := processTaskCtx(task.Payload, ctx)
+			dt := time.Since(t0)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("task %d: %w", task.ID, err)
+				}
+				mu.Unlock()
+				tris = nil
+			}
+			mu.Lock()
+			measures[task.ID] = TaskMeasure{
+				Seconds:       dt.Seconds(),
+				Bytes:         int64(len(task.Payload)),
+				BoundaryLayer: task.BoundaryLayer,
+				Triangles:     len(tris) / 6,
+			}
+			mu.Unlock()
+			// Ship the result to the root ahead of the completion message.
+			head := []float64{float64(task.ID)}
+			c.Send(0, tagResult, mpi.EncodeFloats(append(head, tris...)))
+		})
+		mu.Lock()
+		balStats[c.Rank()] = bs
+		mu.Unlock()
+	})
+	if err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Drain the results at the root (they were all enqueued before the
+	// balancer's termination).
+	results := make([][]float64, len(tasks))
+	collected := 0
+	err = world.Run(func(c *mpi.Comm) {
+		if c.Rank() != 0 {
+			return
+		}
+		for collected < len(tasks) {
+			data, _, _, ok := c.TryRecv(mpi.AnySource, tagResult)
+			if !ok {
+				break
+			}
+			vals := mpi.DecodeFloats(data)
+			results[int(vals[0])] = vals[1:]
+			collected++
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if collected != len(tasks) {
+		return nil, fmt.Errorf("core: collected %d of %d task results", collected, len(tasks))
+	}
+
+	st.Tasks = append(st.Tasks, measures...)
+	st.LoadBalance = append(st.LoadBalance, balStats...)
+	st.Messages += world.Stats().Messages.Load()
+	st.BytesOnWire += world.Stats().Bytes.Load()
+	return results, nil
+}
+
+func totalCost(tasks []loadbal.Task) float64 {
+	var s float64
+	for _, t := range tasks {
+		s += t.Cost
+	}
+	return s
+}
+
+// runRayInsertionPhase distributes boundary-layer point insertion across
+// the ranks: rays are independent once trimmed, so batches of rays are
+// balanced like any other task and only the coordinates return to the
+// root (the paper's section II.C communication argument).
+func runRayInsertionPhase(cfg Config, layers []*blayer.Layer, frame geom.BBox, st *Stats) error {
+	type batchRef struct {
+		layer    int
+		from, to int
+		counts   []int
+	}
+	var tasks []loadbal.Task
+	var refs []batchRef
+	batchSize := 64
+	for li, l := range layers {
+		counts := blayer.PlanCounts(l, cfg.BL)
+		for from := 0; from < len(l.Rays); from += batchSize {
+			to := from + batchSize
+			if to > len(l.Rays) {
+				to = len(l.Rays)
+			}
+			vals := []float64{kindRayBatch, float64(to - from)}
+			cost := 0.0
+			for i := from; i < to; i++ {
+				r := l.Rays[i]
+				fan := 0.0
+				if r.Fan {
+					fan = 1
+				}
+				vals = append(vals, r.Origin.X, r.Origin.Y, r.Dir.X, r.Dir.Y,
+					r.MaxLen, r.Tangential, fan, r.FanBisector.X, r.FanBisector.Y,
+					float64(counts[i]))
+				cost += float64(counts[i])
+			}
+			tasks = append(tasks, loadbal.Task{
+				ID:            int32(len(tasks)),
+				Cost:          cost + 1,
+				BoundaryLayer: true,
+				Payload:       mpi.EncodeFloats(vals),
+			})
+			refs = append(refs, batchRef{layer: li, from: from, to: to, counts: counts[from:to]})
+		}
+	}
+	results, err := runPhase(cfg, tasks, taskCtx{frame: frame, bl: cfg.BL}, st)
+	if err != nil {
+		return err
+	}
+	// Reassemble each layer's per-ray point lists from the gathered
+	// coordinates.
+	perLayer := make([][][]geom.Point, len(layers))
+	for li, l := range layers {
+		perLayer[li] = make([][]geom.Point, len(l.Rays))
+	}
+	for ti, ref := range refs {
+		vals := results[ti]
+		off := 0
+		for i := ref.from; i < ref.to; i++ {
+			n := ref.counts[i-ref.from]
+			pts := make([]geom.Point, 0, n)
+			for k := 0; k < n; k++ {
+				pts = append(pts, geom.Pt(vals[off], vals[off+1]))
+				off += 2
+			}
+			perLayer[ref.layer][i] = pts
+		}
+		if off != len(vals) {
+			return fmt.Errorf("core: ray batch %d returned %d floats, consumed %d", ti, len(vals), off)
+		}
+	}
+	for li, l := range layers {
+		l.SetPoints(perLayer[li])
+	}
+	return nil
+}
+
+// runBoundaryLayerPhase decomposes the boundary-layer points and
+// triangulates the leaves in parallel (paper Figure 8).
+func runBoundaryLayerPhase(cfg Config, blPoints []geom.Point, frame geom.BBox, st *Stats) ([]float64, error) {
+	root := project.New(blPoints)
+	depth := 1
+	for 1<<depth < cfg.Ranks*cfg.SubdomainsPerRank {
+		depth++
+	}
+	leaves, _ := project.Decompose(root, project.Options{MinVerts: 16, MaxDepth: depth})
+	tasks := make([]loadbal.Task, len(leaves))
+	for i, leaf := range leaves {
+		leaf.DropYSorted()
+		tasks[i] = loadbal.Task{
+			ID:            int32(i),
+			Cost:          float64(leaf.Len()),
+			BoundaryLayer: true,
+			Payload:       encodeBLLeaf(leaf),
+		}
+	}
+	results, err := runPhase(cfg, tasks, taskCtx{frame: frame}, st)
+	if err != nil {
+		return nil, err
+	}
+	var tris []float64
+	for _, r := range results {
+		tris = append(tris, r...)
+	}
+	return tris, nil
+}
+
+// runInviscidPhase refines the transition region and the decoupled
+// inviscid subdomains in parallel and returns the triangle floats plus the
+// transition and inviscid triangle counts.
+func runInviscidPhase(cfg Config, transIn delaunay.Input, nOuter int, regions []*decouple.Region, frame geom.BBox, size sizing.Func, st *Stats) ([]float64, int, int, error) {
+	var tasks []loadbal.Task
+
+	// Transition tasks: sector-decoupled when the geometry allows it.
+	want := cfg.TransitionSectors
+	if want == 0 {
+		want = cfg.Ranks * cfg.SubdomainsPerRank / 128
+		if want > 32 {
+			want = 32
+		}
+	}
+	var transInputs []delaunay.Input
+	if want > 1 {
+		if sec, ok := transitionSectors(transIn, nOuter, size, want); ok {
+			transInputs = sec
+		}
+	}
+	if transInputs == nil {
+		transInputs = []delaunay.Input{transIn}
+	}
+	for _, ti := range transInputs {
+		tasks = append(tasks, loadbal.Task{
+			ID:      int32(len(tasks)),
+			Cost:    float64(len(ti.Points)) * 4,
+			Payload: encodeRegionTask(kindTransition, ti.Points, ti.Segments, ti.Holes),
+		})
+	}
+	nTrans := len(tasks)
+	for _, r := range regions {
+		n := len(r.Border)
+		segs := make([][2]int32, n)
+		for k := 0; k < n; k++ {
+			segs[k] = [2]int32{int32(k), int32((k + 1) % n)}
+		}
+		tasks = append(tasks, loadbal.Task{
+			ID:      int32(len(tasks)),
+			Cost:    r.Cost(size),
+			Payload: encodeRegionTask(kindInviscid, r.Border, segs, nil),
+		})
+	}
+	results, err := runPhase(cfg, tasks, taskCtx{frame: frame, size: size, kernel: cfg.InviscidKernel}, st)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	var tris []float64
+	trans, inv := 0, 0
+	for i, r := range results {
+		tris = append(tris, r...)
+		if i < nTrans {
+			trans += len(r) / 6
+		} else {
+			inv += len(r) / 6
+		}
+	}
+	return tris, trans, inv, nil
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"pamg2d/internal/blayer"
+	"pamg2d/internal/decouple"
+	"pamg2d/internal/delaunay"
+	"pamg2d/internal/geom"
+	"pamg2d/internal/mesh"
+	"pamg2d/internal/pslg"
+	"pamg2d/internal/sizing"
+)
+
+// Result is the output of a pipeline run.
+type Result struct {
+	Mesh  *mesh.Mesh
+	Stats Stats
+}
+
+// Generate runs the full push-button pipeline on cfg.Ranks simulated MPI
+// ranks and returns the merged, audited mesh.
+func Generate(cfg Config) (*Result, error) {
+	start := time.Now()
+	if cfg.Ranks < 1 {
+		cfg.Ranks = 1
+	}
+	if cfg.SubdomainsPerRank < 1 {
+		cfg.SubdomainsPerRank = 4
+	}
+	if cfg.NearBodyMargin <= 0 {
+		cfg.NearBodyMargin = 0.25
+	}
+	res := &Result{}
+
+	// Phase 1: PSLG construction and validation.
+	t0 := time.Now()
+	g, err := cfg.graph()
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.SurfacePoints = g.NumPoints() - len(g.Farfield.Points)
+	res.Stats.Times.Validate = time.Since(t0)
+
+	// Geometry frames are needed before the parallel phases.
+	ffBox := g.Farfield.BBox()
+
+	// Phase 2: anisotropic boundary layer. Ray construction and
+	// intersection resolution run at the root; point insertion along the
+	// resolved rays is distributed across the ranks, with only the
+	// coordinates gathered back (paper section II.C).
+	t0 = time.Now()
+	layers := blayer.GenerateRays(g, cfg.BL)
+	if err := runRayInsertionPhase(cfg, layers, ffBox, &res.Stats); err != nil {
+		return nil, err
+	}
+	var blPoints []geom.Point
+	surfaceSet := make(map[geom.Point]bool)
+	for _, l := range layers {
+		res.Stats.BLLayerStats = append(res.Stats.BLLayerStats, l.Stats)
+		blPoints = append(blPoints, l.AllPoints()...)
+		for _, p := range l.Surface.Points {
+			surfaceSet[p] = true
+		}
+	}
+	res.Stats.BoundaryLayerPts = len(blPoints)
+	res.Stats.Times.Boundary = time.Since(t0)
+	var surfacePts []geom.Point
+	for i := range g.Surfaces {
+		surfacePts = append(surfacePts, g.Surfaces[i].Points...)
+	}
+	grad := sizing.NewGraded(surfacePts, cfg.SurfaceH0, cfg.Gradation, cfg.HMax)
+	size := grad.Area
+	if cfg.CustomSizing != nil {
+		size = cfg.CustomSizing
+	}
+
+	blBox := geom.BBoxOf(blPoints)
+	d := cfg.NearBodyMargin * (blBox.Width() + blBox.Height()) / 2
+	nbBox := blBox.Inflate(d)
+	if nbBox.Min.X <= ffBox.Min.X || nbBox.Max.X >= ffBox.Max.X ||
+		nbBox.Min.Y <= ffBox.Min.Y || nbBox.Max.Y >= ffBox.Max.Y {
+		return nil, fmt.Errorf("core: near-body box %v not inside the far field %v; increase FarfieldChords", nbBox, ffBox)
+	}
+
+	// Phase 3 (parallel): triangulate the boundary layer via the
+	// projection-based decomposition.
+	t0 = time.Now()
+	blTris, err := runBoundaryLayerPhase(cfg, blPoints, ffBox, &res.Stats)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Times.Decompose = time.Since(t0)
+
+	// Filter the merged Delaunay triangulation down to the boundary-layer
+	// annuli: keep a triangle when its centroid lies inside some element's
+	// outer-border polygon but not inside the element surface itself.
+	blMesh := filterBoundaryLayer(blTris, layers, cfg.BL)
+	res.Stats.BLTriangles = blMesh.NumTriangles()
+
+	// Extract the outer boundary of the boundary-layer mesh: boundary
+	// edges whose endpoints are not both surface points.
+	outerPts, outerSegs := outerBoundary(blMesh, surfaceSet)
+	if len(outerSegs) == 0 {
+		return nil, fmt.Errorf("core: boundary-layer mesh has no outer boundary")
+	}
+
+	// Phase 4+5 (parallel): transition region plus decoupled inviscid
+	// subdomains under the load balancer.
+	t0 = time.Now()
+	transIn, err := transitionInput(g, outerPts, outerSegs, nbBox, size)
+	if err != nil {
+		return nil, err
+	}
+	quads, err := decouple.InitialQuadrants(nbBox, ffBox, size)
+	if err != nil {
+		return nil, err
+	}
+	regions := decouple.Decouple(quads[:], size, cfg.Ranks*cfg.SubdomainsPerRank)
+
+	isoTris, transCount, invCount, err := runInviscidPhase(cfg, transIn, len(outerPts), regions, ffBox, size, &res.Stats)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.TransitionTris = transCount
+	res.Stats.InviscidTris = invCount
+	res.Stats.Times.Parallel = time.Since(t0)
+
+	// Final merge.
+	t0 = time.Now()
+	b := mesh.NewBuilder()
+	for _, tr := range blMesh.Triangles {
+		b.AddTriangle(blMesh.Points[tr[0]], blMesh.Points[tr[1]], blMesh.Points[tr[2]])
+	}
+	for i := 0; i+5 < len(isoTris); i += 6 {
+		b.AddTriangle(
+			geom.Pt(isoTris[i], isoTris[i+1]),
+			geom.Pt(isoTris[i+2], isoTris[i+3]),
+			geom.Pt(isoTris[i+4], isoTris[i+5]),
+		)
+	}
+	res.Mesh = b.Mesh()
+	res.Stats.TotalTriangles = res.Mesh.NumTriangles()
+	res.Stats.Times.Merge = time.Since(t0)
+	res.Stats.Times.Total = time.Since(start)
+
+	if err := res.Mesh.Audit(); err != nil {
+		return nil, fmt.Errorf("core: final mesh failed audit: %w", err)
+	}
+	return res, nil
+}
+
+// graph resolves the configured geometry: the custom PSLG when set,
+// otherwise the airfoil configuration.
+func (cfg *Config) graph() (*pslg.Graph, error) {
+	if cfg.CustomGraph != nil {
+		if len(cfg.CustomGraph.Farfield.Points) < 3 {
+			return nil, fmt.Errorf("core: custom PSLG needs a far-field loop")
+		}
+		if err := cfg.CustomGraph.Validate(); err != nil {
+			return nil, err
+		}
+		return cfg.CustomGraph, nil
+	}
+	return cfg.Geometry.Graph()
+}
+
+// filterBoundaryLayer keeps the triangles of the merged boundary-layer
+// Delaunay triangulation that belong to some element's layer annulus.
+func filterBoundaryLayer(tris []float64, layers []*blayer.Layer, p blayer.Params) *mesh.Mesh {
+	outers := make([]pslg.Loop, len(layers))
+	for i, l := range layers {
+		outers[i] = pslg.Loop{Points: l.OuterBorder(p)}
+	}
+	b := mesh.NewBuilder()
+	for i := 0; i+5 < len(tris); i += 6 {
+		a := geom.Pt(tris[i], tris[i+1])
+		c := geom.Pt(tris[i+2], tris[i+3])
+		d := geom.Pt(tris[i+4], tris[i+5])
+		ctr := geom.Pt((a.X+c.X+d.X)/3, (a.Y+c.Y+d.Y)/3)
+		keep := false
+		for k := range layers {
+			if outers[k].Contains(ctr) && !layers[k].Surface.Contains(ctr) {
+				keep = true
+				break
+			}
+		}
+		if keep {
+			b.AddTriangle(a, c, d)
+		}
+	}
+	return b.Mesh()
+}
+
+// outerBoundary returns the boundary edges of the boundary-layer mesh that
+// are not on a body surface, as point pairs.
+func outerBoundary(m *mesh.Mesh, surfaceSet map[geom.Point]bool) ([]geom.Point, [][2]int32) {
+	edges := m.BoundaryEdges()
+	index := make(map[geom.Point]int32)
+	var pts []geom.Point
+	var segs [][2]int32
+	intern := func(p geom.Point) int32 {
+		if i, ok := index[p]; ok {
+			return i
+		}
+		i := int32(len(pts))
+		pts = append(pts, p)
+		index[p] = i
+		return i
+	}
+	for _, e := range edges {
+		pa := m.Points[e[0]]
+		pb := m.Points[e[1]]
+		if surfaceSet[pa] && surfaceSet[pb] {
+			continue // body surface edge
+		}
+		segs = append(segs, [2]int32{intern(pa), intern(pb)})
+	}
+	return pts, segs
+}
+
+// transitionInput assembles the CDT input for the region between the
+// boundary layer's outer boundary and the near-body box border. The box
+// border is discretized with the same march the decoupling quadrants use,
+// so the two sides of the border agree exactly.
+func transitionInput(g *pslg.Graph, outerPts []geom.Point, outerSegs [][2]int32, nbBox geom.BBox, size sizing.Func) (delaunay.Input, error) {
+	in := delaunay.Input{}
+	in.Points = append(in.Points, outerPts...)
+	in.Segments = append(in.Segments, outerSegs...)
+
+	// The near-body box border, marched exactly as InitialQuadrants marches
+	// its inner border (MarchBorder is deterministic, so the two
+	// discretizations agree point for point).
+	nbc := [4]geom.Point{
+		geom.Pt(nbBox.Min.X, nbBox.Min.Y), geom.Pt(nbBox.Max.X, nbBox.Min.Y),
+		geom.Pt(nbBox.Max.X, nbBox.Max.Y), geom.Pt(nbBox.Min.X, nbBox.Max.Y),
+	}
+	borderFirst := int32(len(in.Points))
+	for i := 0; i < 4; i++ {
+		in.Points = append(in.Points, decouple.MarchBorder(nbc[i], nbc[(i+1)%4], size)...)
+	}
+	borderLast := int32(len(in.Points)) - 1
+	for k := borderFirst; k < borderLast; k++ {
+		in.Segments = append(in.Segments, [2]int32{k, k + 1})
+	}
+	in.Segments = append(in.Segments, [2]int32{borderLast, borderFirst})
+
+	// Hole seeds: inside each body (the flood spreads across the whole
+	// boundary-layer annulus, which carries no constraints in this CDT,
+	// and stops at the outer-boundary segments).
+	for i := range g.Surfaces {
+		in.Holes = append(in.Holes, pslg.InteriorPointOf(&g.Surfaces[i]))
+	}
+	return in, nil
+}
+
+// sequentialBaselineQuality mirrors Triangle's quality switch used
+// throughout the pipeline.
+func qualityFor(size sizing.Func) delaunay.Quality {
+	return delaunay.Quality{
+		MaxRadiusEdgeRatio: math.Sqrt2,
+		SizeAt:             size,
+		NoSplitSegments:    true,
+	}
+}

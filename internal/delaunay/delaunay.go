@@ -1,0 +1,542 @@
+// Package delaunay implements the sequential meshing kernel that plays the
+// role of Shewchuk's Triangle in the paper: a constrained Delaunay
+// triangulator with Ruppert-style quality refinement driven by a
+// circumradius-to-shortest-edge bound and a user sizing function.
+//
+// The triangulation is built incrementally (Bowyer–Watson) inside a
+// bounding box whose four corners are real auxiliary vertices, so every
+// inserted point lies strictly inside the current triangulation and no
+// symbolic ghost handling is needed. Constrained segments are recovered by
+// cavity retriangulation, the exterior and holes are carved by flood fill
+// across unconstrained edges, and refinement inserts circumcenters and
+// constraint midpoints until all interior triangles meet the quality and
+// size bounds. All orientation and incircle decisions use the robust
+// adaptive predicates from the geom package.
+package delaunay
+
+import (
+	"errors"
+	"fmt"
+
+	"pamg2d/internal/geom"
+)
+
+// invalid marks an absent neighbor or vertex slot.
+const invalid = int32(-1)
+
+// Tri is one triangle of the triangulation. V holds the vertex indices in
+// counter-clockwise order. N[i] is the neighbor across edge i, where edge i
+// connects V[i] to V[(i+1)%3]. C[i] reports whether edge i is a constrained
+// (PSLG) edge. Outside marks triangles carved away as exterior or hole
+// area; they stay in the data structure to keep adjacency walks simple but
+// are excluded from the output mesh and from refinement.
+type Tri struct {
+	V       [3]int32
+	N       [3]int32
+	C       [3]bool
+	Dead    bool
+	Outside bool
+}
+
+// Triangulation is an incremental constrained Delaunay triangulation.
+type Triangulation struct {
+	pts  []geom.Point
+	tris []Tri
+	free []int32 // indices of dead triangles available for reuse
+
+	// vtri[v] is some live triangle incident to vertex v, used to seed
+	// point-location walks and vertex star traversals.
+	vtri []int32
+
+	// corner[i] are the four auxiliary bounding-box vertices.
+	corner [4]int32
+
+	// last is the most recently created or visited triangle, the walk seed.
+	last int32
+
+	// carved reports that Carve ran; refinement requires it.
+	carved bool
+
+	// cavityTris and cavityEdges are scratch buffers reused across
+	// insertions to avoid per-insert allocation.
+	cavityTris  []int32
+	cavityEdges []cavityEdge
+
+	// insertedOn records, for the most recent InsertPoint call, the
+	// constrained segment the point happened to lie on (invalid pair
+	// otherwise). Segment splitting in the refiner uses it.
+	stack []int32
+}
+
+type cavityEdge struct {
+	a, b    int32 // directed edge of the cavity boundary (cavity on the left)
+	t       int32 // triangle outside the cavity across this edge (invalid if none)
+	te      int32 // edge index within t matching (b,a)
+	c       bool  // constrained flag carried over from the removed triangle
+	outside bool  // carved-exterior flag of the removed triangle
+}
+
+// ErrDuplicate is returned by InsertPoint for a point that coincides with
+// an existing vertex.
+var ErrDuplicate = errors.New("delaunay: duplicate point")
+
+// ErrOutside is returned for a point outside the triangulation's bounding
+// box.
+var ErrOutside = errors.New("delaunay: point outside bounding box")
+
+// New creates a triangulation whose working area is the given bounding box
+// inflated by a margin. All points inserted later must lie within the
+// original box.
+func New(bb geom.BBox) *Triangulation {
+	if bb.Empty() {
+		bb = geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)}
+	}
+	// Inflate generously so circumcircles of skinny boundary triangles stay
+	// well-behaved and domain points never touch the auxiliary frame.
+	d := bb.Width() + bb.Height()
+	if d == 0 {
+		d = 1
+	}
+	bb = bb.Inflate(d)
+	t := &Triangulation{last: 0}
+	c0 := t.addPoint(geom.Pt(bb.Min.X, bb.Min.Y))
+	c1 := t.addPoint(geom.Pt(bb.Max.X, bb.Min.Y))
+	c2 := t.addPoint(geom.Pt(bb.Max.X, bb.Max.Y))
+	c3 := t.addPoint(geom.Pt(bb.Min.X, bb.Max.Y))
+	t.corner = [4]int32{c0, c1, c2, c3}
+	// Two seed triangles: (c0,c1,c2) and (c0,c2,c3), both CCW.
+	t0 := t.addTri(c0, c1, c2)
+	t1 := t.addTri(c0, c2, c3)
+	t.tris[t0].N[2] = t1 // edge c2->c0
+	t.tris[t1].N[0] = t0 // edge c0->c2
+	return t
+}
+
+// NumPoints returns the number of vertices including the four auxiliary
+// bounding-box corners.
+func (t *Triangulation) NumPoints() int { return len(t.pts) }
+
+// Point returns vertex v's coordinates.
+func (t *Triangulation) Point(v int32) geom.Point { return t.pts[v] }
+
+// IsCorner reports whether v is one of the four auxiliary frame vertices.
+func (t *Triangulation) IsCorner(v int32) bool {
+	for _, c := range t.corner {
+		if c == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Triangulation) addPoint(p geom.Point) int32 {
+	t.pts = append(t.pts, p)
+	t.vtri = append(t.vtri, invalid)
+	return int32(len(t.pts) - 1)
+}
+
+func (t *Triangulation) addTri(a, b, c int32) int32 {
+	var idx int32
+	if n := len(t.free); n > 0 {
+		idx = t.free[n-1]
+		t.free = t.free[:n-1]
+		t.tris[idx] = Tri{V: [3]int32{a, b, c}, N: [3]int32{invalid, invalid, invalid}}
+	} else {
+		t.tris = append(t.tris, Tri{V: [3]int32{a, b, c}, N: [3]int32{invalid, invalid, invalid}})
+		idx = int32(len(t.tris) - 1)
+	}
+	t.vtri[a] = idx
+	t.vtri[b] = idx
+	t.vtri[c] = idx
+	t.last = idx
+	return idx
+}
+
+func (t *Triangulation) killTri(ti int32) {
+	t.tris[ti].Dead = true
+	t.free = append(t.free, ti)
+}
+
+// edgeIndex returns the edge index e of triangle ti such that the directed
+// edge (V[e], V[e+1]) equals (a, b), or -1.
+func (t *Triangulation) edgeIndex(ti, a, b int32) int32 {
+	tr := &t.tris[ti]
+	for e := int32(0); e < 3; e++ {
+		if tr.V[e] == a && tr.V[(e+1)%3] == b {
+			return e
+		}
+	}
+	return -1
+}
+
+// link makes ta (edge ea) and tb (edge eb) mutual neighbors. Either side
+// may be invalid.
+func (t *Triangulation) link(ta, ea, tb, eb int32) {
+	if ta != invalid {
+		t.tris[ta].N[ea] = tb
+	}
+	if tb != invalid {
+		t.tris[tb].N[eb] = ta
+	}
+}
+
+// InsertPoint adds p to the triangulation and returns its vertex index.
+// Points must lie strictly inside the working bounding box. Duplicate
+// points return the existing vertex index together with ErrDuplicate.
+func (t *Triangulation) InsertPoint(p geom.Point) (int32, error) {
+	loc := t.locate(p)
+	switch loc.kind {
+	case locOutside:
+		return -1, ErrOutside
+	case locVertex:
+		return loc.v, ErrDuplicate
+	case locEdge:
+		if t.tris[loc.t].C[loc.e] {
+			// Splitting a constrained segment: clear the constraint, open
+			// the cavity on both sides, and re-constrain the two halves.
+			return t.insertOnConstraint(p, loc)
+		}
+	}
+	v := t.addPoint(p)
+	t.digCavity(v, loc)
+	return v, nil
+}
+
+// digCavity removes every triangle whose circumcircle strictly contains
+// vertex v's point (never crossing constrained edges), then retriangulates
+// the star-shaped hole by fanning v to the cavity boundary.
+func (t *Triangulation) digCavity(v int32, loc location) {
+	t.computeCavity(t.pts[v], loc)
+	t.commitCavity(v)
+}
+
+// computeCavity fills cavityTris and cavityEdges for inserting point p at
+// location loc, without mutating the triangulation.
+func (t *Triangulation) computeCavity(p geom.Point, loc location) {
+	t.cavityTris = t.cavityTris[:0]
+	t.cavityEdges = t.cavityEdges[:0]
+
+	// Seed triangles: the containing triangle, or both triangles sharing
+	// the containing edge.
+	t.stack = t.stack[:0]
+	push := func(ti int32) {
+		if ti == invalid || t.tris[ti].Dead {
+			return
+		}
+		for _, c := range t.cavityTris {
+			if c == ti {
+				return
+			}
+		}
+		t.cavityTris = append(t.cavityTris, ti)
+		t.stack = append(t.stack, ti)
+	}
+	push(loc.t)
+	if loc.kind == locEdge {
+		// Also seed the triangle on the other side of the edge, unless the
+		// edge is constrained (a point exactly on a constrained segment
+		// still opens the cavity on both sides only via splitConstraint,
+		// which clears the flag first).
+		if !t.tris[loc.t].C[loc.e] {
+			push(t.tris[loc.t].N[loc.e])
+		}
+	}
+
+	for len(t.stack) > 0 {
+		ti := t.stack[len(t.stack)-1]
+		t.stack = t.stack[:len(t.stack)-1]
+		tr := t.tris[ti]
+		for e := int32(0); e < 3; e++ {
+			nb := tr.N[e]
+			if tr.C[e] {
+				continue // never grow the cavity across a constraint
+			}
+			if nb == invalid || t.tris[nb].Dead {
+				continue
+			}
+			if t.inCavityList(nb) {
+				continue
+			}
+			ntr := t.tris[nb]
+			if geom.InCircle(t.pts[ntr.V[0]], t.pts[ntr.V[1]], t.pts[ntr.V[2]], p) > 0 {
+				t.cavityTris = append(t.cavityTris, nb)
+				t.stack = append(t.stack, nb)
+			}
+		}
+	}
+
+	// Collect the directed boundary edges of the cavity.
+	for _, ti := range t.cavityTris {
+		tr := t.tris[ti]
+		for e := int32(0); e < 3; e++ {
+			nb := tr.N[e]
+			if nb != invalid && !t.tris[nb].Dead && t.inCavityList(nb) && !tr.C[e] {
+				continue // interior cavity edge
+			}
+			a := tr.V[e]
+			b := tr.V[(e+1)%3]
+			var te int32 = -1
+			if nb != invalid {
+				te = t.edgeIndex(nb, b, a)
+			}
+			t.cavityEdges = append(t.cavityEdges, cavityEdge{a: a, b: b, t: nb, te: te, c: tr.C[e], outside: tr.Outside})
+		}
+	}
+}
+
+// commitCavity removes the triangles found by computeCavity and fans
+// vertex v to the cavity boundary.
+func (t *Triangulation) commitCavity(v int32) {
+	for _, ti := range t.cavityTris {
+		t.killTri(ti)
+	}
+
+	// Fan v to each boundary edge, then stitch neighbor pointers between
+	// consecutive fan triangles via a directed-edge lookup.
+	type halfEdge struct{ tri, e int32 }
+	open := make(map[[2]int32]halfEdge, 2*len(t.cavityEdges))
+	for _, ce := range t.cavityEdges {
+		nt := t.addTri(v, ce.a, ce.b)
+		// Each fan triangle lies on the same side of any constraint as the
+		// removed triangle that contributed its boundary edge, so it
+		// inherits that triangle's carved-exterior status.
+		t.tris[nt].Outside = ce.outside
+		// Edge 1 is (a,b): the cavity boundary edge.
+		t.tris[nt].C[1] = ce.c
+		t.link(nt, 1, ce.t, ce.te)
+		// Edge 0 is (v,a), edge 2 is (b,v): shared with sibling fan
+		// triangles. Match (v,a) against a sibling's (a,v).
+		if he, ok := open[[2]int32{ce.a, v}]; ok {
+			t.link(nt, 0, he.tri, he.e)
+			delete(open, [2]int32{ce.a, v})
+		} else {
+			open[[2]int32{v, ce.a}] = halfEdge{nt, 0}
+		}
+		if he, ok := open[[2]int32{v, ce.b}]; ok {
+			t.link(nt, 2, he.tri, he.e)
+			delete(open, [2]int32{v, ce.b})
+		} else {
+			open[[2]int32{ce.b, v}] = halfEdge{nt, 2}
+		}
+	}
+}
+
+func (t *Triangulation) inCavityList(ti int32) bool {
+	for _, c := range t.cavityTris {
+		if c == ti {
+			return true
+		}
+	}
+	return false
+}
+
+// locKind classifies a point-location result.
+type locKind int
+
+const (
+	locInside locKind = iota
+	locEdge
+	locVertex
+	locOutside
+)
+
+type location struct {
+	kind locKind
+	t    int32 // containing triangle
+	e    int32 // edge index for locEdge
+	v    int32 // vertex index for locVertex
+}
+
+// locate finds the triangle containing p by straight walking from the last
+// visited triangle, using exact orientation tests.
+func (t *Triangulation) locate(p geom.Point) location {
+	ti := t.last
+	if ti == invalid || int(ti) >= len(t.tris) || t.tris[ti].Dead {
+		ti = t.anyLive()
+		if ti == invalid {
+			return location{kind: locOutside}
+		}
+	}
+	maxSteps := 4*len(t.tris) + 16
+	for step := 0; step < maxSteps; step++ {
+		tr := t.tris[ti]
+		var onEdge int32 = -1
+		walked := false
+		for e := int32(0); e < 3; e++ {
+			a := tr.V[e]
+			b := tr.V[(e+1)%3]
+			s := geom.Orient2DSign(t.pts[a], t.pts[b], p)
+			if s < 0 {
+				nb := tr.N[e]
+				if nb == invalid || t.tris[nb].Dead {
+					return location{kind: locOutside}
+				}
+				ti = nb
+				walked = true
+				break
+			}
+			if s == 0 {
+				onEdge = e
+			}
+		}
+		if walked {
+			continue
+		}
+		t.last = ti
+		if onEdge >= 0 {
+			tr := t.tris[ti]
+			a := tr.V[onEdge]
+			b := tr.V[(onEdge+1)%3]
+			if p == t.pts[a] {
+				return location{kind: locVertex, t: ti, v: a}
+			}
+			if p == t.pts[b] {
+				return location{kind: locVertex, t: ti, v: b}
+			}
+			return location{kind: locEdge, t: ti, e: onEdge}
+		}
+		return location{kind: locInside, t: ti}
+	}
+	// The walk failed to terminate (should not happen with exact
+	// predicates); fall back to exhaustive search.
+	return t.locateExhaustive(p)
+}
+
+func (t *Triangulation) locateExhaustive(p geom.Point) location {
+	for i := range t.tris {
+		if t.tris[i].Dead {
+			continue
+		}
+		tr := t.tris[i]
+		var onEdge int32 = -1
+		inside := true
+		for e := int32(0); e < 3; e++ {
+			s := geom.Orient2DSign(t.pts[tr.V[e]], t.pts[tr.V[(e+1)%3]], p)
+			if s < 0 {
+				inside = false
+				break
+			}
+			if s == 0 {
+				onEdge = e
+			}
+		}
+		if !inside {
+			continue
+		}
+		ti := int32(i)
+		t.last = ti
+		if onEdge >= 0 {
+			a := tr.V[onEdge]
+			b := tr.V[(onEdge+1)%3]
+			if p == t.pts[a] {
+				return location{kind: locVertex, t: ti, v: a}
+			}
+			if p == t.pts[b] {
+				return location{kind: locVertex, t: ti, v: b}
+			}
+			return location{kind: locEdge, t: ti, e: onEdge}
+		}
+		return location{kind: locInside, t: ti}
+	}
+	return location{kind: locOutside}
+}
+
+func (t *Triangulation) anyLive() int32 {
+	for i := range t.tris {
+		if !t.tris[i].Dead {
+			return int32(i)
+		}
+	}
+	return invalid
+}
+
+// checkInvariants validates adjacency symmetry, CCW orientation and the
+// (constrained) Delaunay property of every live triangle. It is meant for
+// tests and costs O(n^2) in the Delaunay check.
+func (t *Triangulation) checkInvariants(full bool) error {
+	for i := range t.tris {
+		tr := t.tris[i]
+		if tr.Dead {
+			continue
+		}
+		a, b, c := t.pts[tr.V[0]], t.pts[tr.V[1]], t.pts[tr.V[2]]
+		if geom.Orient2DSign(a, b, c) <= 0 {
+			return fmt.Errorf("triangle %d not CCW: %v %v %v", i, a, b, c)
+		}
+		for e := int32(0); e < 3; e++ {
+			nb := tr.N[e]
+			if nb == invalid {
+				continue
+			}
+			if t.tris[nb].Dead {
+				return fmt.Errorf("triangle %d edge %d points to dead neighbor %d", i, e, nb)
+			}
+			va, vb := tr.V[e], tr.V[(e+1)%3]
+			back := t.edgeIndex(nb, vb, va)
+			if back < 0 {
+				return fmt.Errorf("triangle %d edge %d (%d,%d): neighbor %d lacks reverse edge", i, e, va, vb, nb)
+			}
+			if t.tris[nb].N[back] != int32(i) {
+				return fmt.Errorf("triangle %d edge %d: asymmetric adjacency with %d", i, e, nb)
+			}
+			if tr.C[e] != t.tris[nb].C[back] {
+				return fmt.Errorf("triangle %d edge %d: constraint flag mismatch with %d", i, e, nb)
+			}
+		}
+	}
+	if !full {
+		return nil
+	}
+	// Local Delaunay check: for each unconstrained interior edge, the
+	// opposite vertex of the neighbor must not be strictly inside the
+	// circumcircle.
+	for i := range t.tris {
+		tr := t.tris[i]
+		if tr.Dead {
+			continue
+		}
+		for e := int32(0); e < 3; e++ {
+			nb := tr.N[e]
+			if nb == invalid || tr.C[e] {
+				continue
+			}
+			va, vb := tr.V[e], tr.V[(e+1)%3]
+			back := t.edgeIndex(nb, vb, va)
+			opp := t.tris[nb].V[(back+2)%3]
+			if geom.InCircle(t.pts[tr.V[0]], t.pts[tr.V[1]], t.pts[tr.V[2]], t.pts[opp]) > 0 {
+				return fmt.Errorf("edge (%d,%d) of triangle %d is not locally Delaunay", va, vb, i)
+			}
+		}
+	}
+	return nil
+}
+
+// triArea returns twice the signed area of triangle ti.
+func (t *Triangulation) triArea(ti int32) float64 {
+	tr := t.tris[ti]
+	return geom.Orient2D(t.pts[tr.V[0]], t.pts[tr.V[1]], t.pts[tr.V[2]])
+}
+
+// LiveTriangles returns the number of live (not dead) triangles, including
+// carved-outside ones.
+func (t *Triangulation) LiveTriangles() int {
+	n := 0
+	for i := range t.tris {
+		if !t.tris[i].Dead {
+			n++
+		}
+	}
+	return n
+}
+
+// InteriorTriangles returns the number of live interior (not carved)
+// triangles.
+func (t *Triangulation) InteriorTriangles() int {
+	n := 0
+	for i := range t.tris {
+		if !t.tris[i].Dead && !t.tris[i].Outside {
+			n++
+		}
+	}
+	return n
+}

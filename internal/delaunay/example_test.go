@@ -1,0 +1,62 @@
+package delaunay_test
+
+import (
+	"fmt"
+	"math"
+
+	"pamg2d/internal/delaunay"
+	"pamg2d/internal/geom"
+)
+
+// ExampleTriangulate builds the constrained Delaunay triangulation of a
+// square with a forced diagonal.
+func ExampleTriangulate() {
+	res, err := delaunay.Triangulate(delaunay.Input{
+		Points: []geom.Point{
+			geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 1), geom.Pt(0, 1),
+		},
+		Segments: [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 0}},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("triangles:", len(res.Triangles))
+	fmt.Println("points:", len(res.Points))
+	// Output:
+	// triangles: 2
+	// points: 4
+}
+
+// ExampleTriangulateRefined refines a unit square to a quality and area
+// bound, the way the pipeline refines each decoupled subdomain.
+func ExampleTriangulateRefined() {
+	res, err := delaunay.TriangulateRefined(delaunay.Input{
+		Points: []geom.Point{
+			geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 1), geom.Pt(0, 1),
+		},
+		Segments: [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 0}},
+	}, delaunay.Quality{
+		MaxRadiusEdgeRatio: math.Sqrt2, // Ruppert's bound: min angle 20.7 deg
+		MaxArea:            0.05,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	var area float64
+	ok := true
+	for _, tri := range res.Triangles {
+		a, b, c := res.Points[tri[0]], res.Points[tri[1]], res.Points[tri[2]]
+		t := math.Abs(geom.TriangleArea(a, b, c))
+		area += t
+		if t > 0.05 {
+			ok = false
+		}
+	}
+	fmt.Printf("area preserved: %.4f\n", area)
+	fmt.Println("all under the bound:", ok)
+	// Output:
+	// area preserved: 1.0000
+	// all under the bound: true
+}

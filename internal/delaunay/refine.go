@@ -1,0 +1,415 @@
+package delaunay
+
+import (
+	"fmt"
+	"math"
+
+	"pamg2d/internal/geom"
+)
+
+// Refine runs Ruppert's algorithm on the carved triangulation: encroached
+// constrained segments are split at their midpoints, and triangles that
+// violate the quality bound (circumradius-to-shortest-edge ratio), the
+// global area bound, or the sizing function are split at their
+// circumcenters. A circumcenter that would encroach a constrained segment
+// is not inserted; the segment is split instead, as Ruppert's termination
+// proof requires.
+func (t *Triangulation) Refine(q Quality) error {
+	if !t.carved {
+		t.Carve(nil)
+	}
+	minLen := q.MinLength
+	if minLen == 0 {
+		bb := geom.BBoxOf(t.pts)
+		minLen = 1e-8 * (bb.Width() + bb.Height())
+	}
+	r := &refiner{t: t, q: q, minLen: minLen}
+
+	// Seed the queues with every interior triangle and constrained edge.
+	for i := range t.tris {
+		tr := t.tris[i]
+		if tr.Dead || tr.Outside {
+			continue
+		}
+		r.considerTri(int32(i))
+		for e := int32(0); e < 3; e++ {
+			if tr.C[e] {
+				r.considerSeg(int32(i), e)
+			}
+		}
+	}
+	return r.run()
+}
+
+type triRef struct {
+	ti int32
+	v  [3]int32 // fingerprint to detect staleness
+}
+
+type segRef struct {
+	a, b int32
+	// force skips the encroachment re-check: set when a rejected
+	// circumcenter encroached the segment (Ruppert splits it regardless of
+	// whether any existing vertex encroaches it).
+	force bool
+}
+
+type refiner struct {
+	t      *Triangulation
+	q      Quality
+	minLen float64
+
+	segs []segRef
+	tris []triRef
+}
+
+// considerTri enqueues ti if it violates a bound.
+func (r *refiner) considerTri(ti int32) {
+	if r.isBad(ti) {
+		tr := r.t.tris[ti]
+		r.tris = append(r.tris, triRef{ti, tr.V})
+	}
+}
+
+func (r *refiner) isBad(ti int32) bool {
+	t := r.t
+	tr := t.tris[ti]
+	if tr.Dead || tr.Outside {
+		return false
+	}
+	a, b, c := t.pts[tr.V[0]], t.pts[tr.V[1]], t.pts[tr.V[2]]
+	ab := a.Dist(b)
+	bc := b.Dist(c)
+	ca := c.Dist(a)
+	shortest := math.Min(ab, math.Min(bc, ca))
+	area := math.Abs(geom.TriangleArea(a, b, c))
+	if r.q.MaxArea > 0 && area > r.q.MaxArea && shortest > 2*r.minLen {
+		return true
+	}
+	if r.q.SizeAt != nil && shortest > 2*r.minLen {
+		centroid := geom.Pt((a.X+b.X+c.X)/3, (a.Y+b.Y+c.Y)/3)
+		if want := r.q.SizeAt(centroid); want > 0 && area > want {
+			return true
+		}
+	}
+	if r.q.MaxRadiusEdgeRatio > 0 && shortest > 2*r.minLen {
+		if geom.Circumradius(a, b, c)/shortest > r.q.MaxRadiusEdgeRatio {
+			return true
+		}
+	}
+	return false
+}
+
+// considerSeg enqueues the constrained edge e of ti if it is encroached by
+// either adjacent apex.
+func (r *refiner) considerSeg(ti, e int32) {
+	t := r.t
+	tr := t.tris[ti]
+	a, b := tr.V[e], tr.V[(e+1)%3]
+	if r.segEncroached(ti, e) {
+		r.segs = append(r.segs, segRef{a: a, b: b})
+	}
+}
+
+func (r *refiner) segEncroached(ti, e int32) bool {
+	t := r.t
+	tr := t.tris[ti]
+	a, b := tr.V[e], tr.V[(e+1)%3]
+	s := geom.Segment{A: t.pts[a], B: t.pts[b]}
+	if s.Len() <= 2*r.minLen {
+		return false // too short to split; accept as is
+	}
+	apex := tr.V[(e+2)%3]
+	if !t.tris[ti].Outside && geom.InDiametralCircle(t.pts[apex], s) {
+		return true
+	}
+	nb := tr.N[e]
+	if nb != invalid && !t.tris[nb].Dead && !t.tris[nb].Outside {
+		be := t.edgeIndex(nb, b, a)
+		if be >= 0 {
+			napex := t.tris[nb].V[(be+2)%3]
+			if geom.InDiametralCircle(t.pts[napex], s) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (r *refiner) run() error {
+	t := r.t
+	for len(r.segs) > 0 || len(r.tris) > 0 {
+		if r.q.MaxPoints > 0 && len(t.pts) >= r.q.MaxPoints {
+			return fmt.Errorf("delaunay: refinement exceeded MaxPoints=%d", r.q.MaxPoints)
+		}
+		if len(r.segs) > 0 {
+			sr := r.segs[len(r.segs)-1]
+			r.segs = r.segs[:len(r.segs)-1]
+			r.splitSegIfNeeded(sr)
+			continue
+		}
+		tr := r.tris[len(r.tris)-1]
+		r.tris = r.tris[:len(r.tris)-1]
+		// Staleness: the triangle must still exist with the same vertices.
+		if tr.ti >= int32(len(t.tris)) || t.tris[tr.ti].Dead || t.tris[tr.ti].V != tr.v {
+			continue
+		}
+		if !r.isBad(tr.ti) {
+			continue
+		}
+		r.splitTri(tr.ti)
+	}
+	return nil
+}
+
+// splitSegIfNeeded splits the constrained segment (a,b) at its midpoint if
+// it still exists and is still encroached.
+func (r *refiner) splitSegIfNeeded(sr segRef) {
+	if r.q.NoSplitSegments {
+		return
+	}
+	t := r.t
+	ti, e := t.findEdge(sr.a, sr.b)
+	if ti == invalid || !t.tris[ti].C[e] {
+		return
+	}
+	if sr.force {
+		s := geom.Segment{A: t.pts[sr.a], B: t.pts[sr.b]}
+		if s.Len() > 2*r.minLen {
+			r.splitSeg(ti, e)
+		}
+		return
+	}
+	if !r.segEncroached(ti, e) {
+		return
+	}
+	r.splitSeg(ti, e)
+}
+
+// splitSeg inserts the midpoint of constrained edge e of triangle ti and
+// requeues the affected elements.
+func (r *refiner) splitSeg(ti, e int32) {
+	t := r.t
+	a := t.tris[ti].V[e]
+	b := t.tris[ti].V[(e+1)%3]
+	mid := t.pts[a].Mid(t.pts[b])
+	loc := location{kind: locEdge, t: ti, e: e}
+	v, err := t.insertOnConstraint(mid, loc)
+	if err != nil {
+		return
+	}
+	r.requeueAround(v)
+}
+
+// requeueAround re-examines the star of a freshly inserted vertex: its
+// triangles for quality/size violations and their constrained edges for
+// encroachment.
+func (r *refiner) requeueAround(v int32) {
+	t := r.t
+	t.visitStar(v, func(ti int32) bool {
+		if t.tris[ti].Outside {
+			return true
+		}
+		r.considerTri(ti)
+		tr := t.tris[ti]
+		for e := int32(0); e < 3; e++ {
+			if tr.C[e] {
+				r.considerSeg(ti, e)
+			}
+		}
+		return true
+	})
+}
+
+// splitTri inserts the circumcenter of bad triangle ti, unless the
+// circumcenter encroaches a constrained segment, in which case the segment
+// is queued for splitting instead.
+func (r *refiner) splitTri(ti int32) {
+	t := r.t
+	tr := t.tris[ti]
+	a, b, c := t.pts[tr.V[0]], t.pts[tr.V[1]], t.pts[tr.V[2]]
+	cc := geom.Circumcenter(a, b, c)
+	if math.IsNaN(cc.X) || math.IsInf(cc.X, 0) || math.IsNaN(cc.Y) || math.IsInf(cc.Y, 0) {
+		return
+	}
+	// Walk from the triangle toward the circumcenter. If the walk crosses a
+	// constrained edge, the circumcenter is not visible from the triangle
+	// interior; treat the blocking segment as encroached.
+	blockTi, blockE, reached := t.walkVisible(ti, cc)
+	if !reached {
+		if blockTi != invalid {
+			aa := t.tris[blockTi].V[blockE]
+			bb := t.tris[blockTi].V[(blockE+1)%3]
+			s := geom.Segment{A: t.pts[aa], B: t.pts[bb]}
+			if !r.q.NoSplitSegments && s.Len() > 2*r.minLen {
+				r.segs = append(r.segs, segRef{a: aa, b: bb, force: true})
+				r.considerTri(ti)
+			}
+		}
+		return
+	}
+	v, encroached, err := t.insertCircumcenter(cc, r.minLen)
+	if err != nil {
+		return
+	}
+	if len(encroached) > 0 {
+		// Ruppert's rule: do not insert a circumcenter that would encroach
+		// a constrained segment; split those segments instead. Under
+		// NoSplitSegments (-Y) the segments must stay intact: a triangle
+		// that only violates the quality bound is left in place, but one
+		// violating the area or sizing bound still needs volume, so its
+		// centroid is inserted instead (strictly interior, so constraints
+		// are never split).
+		if r.q.NoSplitSegments {
+			if r.isAreaBad(ti) {
+				r.insertCentroid(ti)
+			}
+			return
+		}
+		for _, seg := range encroached {
+			s := geom.Segment{A: t.pts[seg[0]], B: t.pts[seg[1]]}
+			if s.Len() > 2*r.minLen {
+				r.segs = append(r.segs, segRef{a: seg[0], b: seg[1], force: true})
+			}
+		}
+		// Requeue the still-bad triangle: splitting the segments may cure
+		// it, and if not its next circumcenter attempt must run again.
+		r.considerTri(ti)
+		return
+	}
+	r.requeueAround(v)
+}
+
+// isAreaBad reports whether the triangle violates the area or sizing
+// bound (ignoring the quality ratio).
+func (r *refiner) isAreaBad(ti int32) bool {
+	t := r.t
+	tr := t.tris[ti]
+	if tr.Dead || tr.Outside {
+		return false
+	}
+	a, b, c := t.pts[tr.V[0]], t.pts[tr.V[1]], t.pts[tr.V[2]]
+	area := math.Abs(geom.TriangleArea(a, b, c))
+	if r.q.MaxArea > 0 && area > r.q.MaxArea {
+		return true
+	}
+	if r.q.SizeAt != nil {
+		centroid := geom.Pt((a.X+b.X+c.X)/3, (a.Y+b.Y+c.Y)/3)
+		if want := r.q.SizeAt(centroid); want > 0 && area > want {
+			return true
+		}
+	}
+	return false
+}
+
+// insertCentroid splits an area-bad triangle at its centroid, the
+// NoSplitSegments fallback when the circumcenter is vetoed.
+func (r *refiner) insertCentroid(ti int32) {
+	t := r.t
+	tr := t.tris[ti]
+	a, b, c := t.pts[tr.V[0]], t.pts[tr.V[1]], t.pts[tr.V[2]]
+	cen := geom.Pt((a.X+b.X+c.X)/3, (a.Y+b.Y+c.Y)/3)
+	if cen.Dist(a) < r.minLen || cen.Dist(b) < r.minLen || cen.Dist(c) < r.minLen {
+		return
+	}
+	loc := t.locate(cen)
+	if loc.kind != locInside && loc.kind != locEdge {
+		return
+	}
+	if loc.kind == locEdge && t.tris[loc.t].C[loc.e] {
+		return // degenerate centroid exactly on a constraint; leave it
+	}
+	v, err := t.InsertPoint(cen)
+	if err != nil {
+		return
+	}
+	r.requeueAround(v)
+}
+
+// insertCircumcenter inserts cc unless the insertion cavity's boundary
+// contains a constrained segment whose diametral circle holds cc; in that
+// case nothing is mutated and the encroached segments are returned.
+func (t *Triangulation) insertCircumcenter(cc geom.Point, minLen float64) (int32, [][2]int32, error) {
+	loc := t.locate(cc)
+	switch loc.kind {
+	case locOutside:
+		return -1, nil, ErrOutside
+	case locVertex:
+		return -1, nil, ErrDuplicate
+	case locEdge:
+		if t.tris[loc.t].C[loc.e] {
+			// Exactly on a constrained segment: report it as encroached so
+			// the caller splits it at its midpoint instead.
+			a := t.tris[loc.t].V[loc.e]
+			b := t.tris[loc.t].V[(loc.e+1)%3]
+			return -1, [][2]int32{{a, b}}, nil
+		}
+	}
+	if t.tris[loc.t].Outside {
+		return -1, nil, ErrOutside
+	}
+	ltr := t.tris[loc.t]
+	for k := 0; k < 3; k++ {
+		if t.pts[ltr.V[k]].Dist(cc) < minLen {
+			return -1, nil, ErrDuplicate
+		}
+	}
+	t.computeCavity(cc, loc)
+	var enc [][2]int32
+	for _, ce := range t.cavityEdges {
+		if ce.c && geom.InDiametralCircle(cc, geom.Segment{A: t.pts[ce.a], B: t.pts[ce.b]}) {
+			enc = append(enc, [2]int32{ce.a, ce.b})
+		}
+	}
+	if len(enc) > 0 {
+		return -1, enc, nil
+	}
+	v := t.addPoint(cc)
+	t.commitCavity(v)
+	return v, nil, nil
+}
+
+// walkVisible walks from triangle ti toward point p. It returns
+// reached=true when p's containing triangle is reachable without crossing a
+// constrained edge; otherwise it returns the blocking triangle and edge.
+func (t *Triangulation) walkVisible(ti int32, p geom.Point) (int32, int32, bool) {
+	// Start from the triangle's centroid to have a well-defined ray origin.
+	tr := t.tris[ti]
+	a, b, c := t.pts[tr.V[0]], t.pts[tr.V[1]], t.pts[tr.V[2]]
+	from := geom.Pt((a.X+b.X+c.X)/3, (a.Y+b.Y+c.Y)/3)
+	cur := ti
+	maxSteps := 4*len(t.tris) + 16
+	for step := 0; step < maxSteps; step++ {
+		tr := t.tris[cur]
+		// Is p inside cur?
+		inside := true
+		var exit int32 = -1
+		for e := int32(0); e < 3; e++ {
+			u := t.pts[tr.V[e]]
+			w := t.pts[tr.V[(e+1)%3]]
+			if geom.Orient2DSign(u, w, p) < 0 {
+				inside = false
+				// Candidate exit edge: the segment from->p must cross it.
+				if geom.SegmentsIntersect(geom.Segment{A: from, B: p}, geom.Segment{A: u, B: w}) != geom.SegDisjoint {
+					exit = e
+				}
+			}
+		}
+		if inside {
+			return cur, -1, true
+		}
+		if exit < 0 {
+			// Numerical corner case; give up optimistically.
+			return cur, -1, true
+		}
+		if tr.C[exit] {
+			return cur, exit, false
+		}
+		nb := tr.N[exit]
+		if nb == invalid || t.tris[nb].Dead {
+			return cur, exit, false
+		}
+		cur = nb
+	}
+	return cur, -1, false
+}

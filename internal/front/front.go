@@ -1,0 +1,457 @@
+// Package front implements a sequential advancing-front isotropic mesh
+// generator, the classical alternative the paper's related-work section
+// cites (Ito et al., "Parallel Unstructured Mesh Generation Using an
+// Advancing Front Method"). It serves as a comparison baseline for the
+// Delaunay-refinement kernel: same domains, same sizing function,
+// different meshing paradigm.
+//
+// The front is the set of directed edges with unmeshed area on their left,
+// initialized from the domain boundary (outer loops counter-clockwise,
+// hole loops clockwise). Each step retires the shortest front edge by
+// forming a triangle with either a newly placed ideal vertex (the apex of
+// a near-equilateral triangle sized by the sizing function) or a suitable
+// existing front vertex, whichever is valid and closest to ideal. The
+// front updates by edge cancellation; meshing finishes when the front is
+// empty.
+package front
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"pamg2d/internal/geom"
+	"pamg2d/internal/mesh"
+	"pamg2d/internal/sizing"
+)
+
+// Options controls the mesher.
+type Options struct {
+	// SizeAt gives the target triangle area near a point (same contract as
+	// the Delaunay kernel's sizing).
+	SizeAt sizing.Func
+	// MaxTriangles aborts runaway fronts. Zero means 10x the rough
+	// estimate from the domain area.
+	MaxTriangles int
+}
+
+// Mesh generates a triangle mesh of the region bounded by the loops.
+// Outer boundaries must be counter-clockwise and holes clockwise, so that
+// the unmeshed interior always lies to the left of every directed
+// boundary edge.
+func Mesh(loops [][]geom.Point, opt Options) (*mesh.Mesh, error) {
+	if opt.SizeAt == nil {
+		return nil, fmt.Errorf("front: SizeAt is required")
+	}
+	m := newMesher(opt)
+	totalArea := 0.0
+	for _, loop := range loops {
+		if len(loop) < 3 {
+			return nil, fmt.Errorf("front: loop with %d points", len(loop))
+		}
+		var sum float64
+		n := len(loop)
+		for i := 0; i < n; i++ {
+			p, q := loop[i], loop[(i+1)%n]
+			sum += p.X*q.Y - q.X*p.Y
+		}
+		totalArea += sum / 2
+		// Pre-discretize the boundary to the sizing resolution: the
+		// advancing front builds near-equilateral triangles off its edges,
+		// so front edges must start near the local target length.
+		for i := 0; i < n; i++ {
+			pa := loop[i]
+			pb := loop[(i+1)%n]
+			prev := m.vertex(pa)
+			for _, q := range subdivide(pa, pb, m.targetLen) {
+				v := m.vertex(q)
+				m.addFront(prev, v)
+				prev = v
+			}
+			last := m.vertex(pb)
+			m.addFront(prev, last)
+		}
+	}
+	if totalArea <= 0 {
+		return nil, fmt.Errorf("front: loops enclose non-positive area %g (outer loops must be CCW, holes CW)", totalArea)
+	}
+	if opt.MaxTriangles == 0 {
+		// Estimate the demand by integrating 1/size over each loop with a
+		// centroid-fan quadrature (graded sizing makes any single-point
+		// sample wildly wrong).
+		est := 0.0
+		for _, loop := range loops {
+			var cx, cy float64
+			for _, p := range loop {
+				cx += p.X
+				cy += p.Y
+			}
+			c := geom.Pt(cx/float64(len(loop)), cy/float64(len(loop)))
+			n := len(loop)
+			for i := 0; i < n; i++ {
+				a, b := loop[i], loop[(i+1)%n]
+				area := math.Abs(geom.TriangleArea(c, a, b))
+				mid := geom.Pt((c.X+a.X+b.X)/3, (c.Y+a.Y+b.Y)/3)
+				if sz := opt.SizeAt(mid); sz > 0 && !math.IsInf(sz, 1) {
+					est += area / sz
+				}
+			}
+		}
+		opt.MaxTriangles = 20*int(est) + 2000
+		m.opt.MaxTriangles = opt.MaxTriangles
+	}
+	boundary := make(map[int32]bool, len(m.pts))
+	for i := range m.pts {
+		boundary[int32(i)] = true // every pre-run vertex is on a loop
+	}
+	if err := m.run(); err != nil {
+		return nil, err
+	}
+	m.postProcess(boundary)
+	return m.build(), nil
+}
+
+type fedge struct {
+	a, b int32
+	len  float64
+	dead bool
+}
+
+type edgeHeap []*fedge
+
+func (h edgeHeap) Len() int            { return len(h) }
+func (h edgeHeap) Less(i, j int) bool  { return h[i].len < h[j].len }
+func (h edgeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *edgeHeap) Push(x interface{}) { *h = append(*h, x.(*fedge)) }
+func (h *edgeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+type mesher struct {
+	opt    Options
+	pts    []geom.Point
+	vindex map[geom.Point]int32
+	tris   [][3]int32
+
+	// live front edges keyed by directed pair, plus the length heap
+	// (entries are invalidated lazily via dead flags).
+	front map[[2]int32]*fedge
+	heap  edgeHeap
+
+	// grid buckets front-edge keys for proximity and crossing queries.
+	cell float64
+	grid map[[2]int]map[[2]int32]bool
+}
+
+func newMesher(opt Options) *mesher {
+	return &mesher{
+		opt:    opt,
+		vindex: map[geom.Point]int32{},
+		front:  map[[2]int32]*fedge{},
+		grid:   map[[2]int]map[[2]int32]bool{},
+	}
+}
+
+func (m *mesher) vertex(p geom.Point) int32 {
+	if i, ok := m.vindex[p]; ok {
+		return i
+	}
+	i := int32(len(m.pts))
+	m.pts = append(m.pts, p)
+	m.vindex[p] = i
+	return i
+}
+
+// targetLen is the isotropic edge length implied by the sizing area at p.
+func (m *mesher) targetLen(p geom.Point) float64 {
+	a := m.opt.SizeAt(p)
+	if a <= 0 || math.IsInf(a, 1) {
+		a = 1
+	}
+	return math.Sqrt(4 * a / math.Sqrt(3))
+}
+
+func (m *mesher) cellOf(p geom.Point) [2]int {
+	if m.cell == 0 {
+		m.cell = m.targetLen(p)
+		if m.cell <= 0 {
+			m.cell = 1
+		}
+	}
+	return [2]int{int(math.Floor(p.X / m.cell)), int(math.Floor(p.Y / m.cell))}
+}
+
+func (m *mesher) gridCellsOf(a, b geom.Point) [][2]int {
+	ca := m.cellOf(a)
+	cb := m.cellOf(b)
+	lo := [2]int{min(ca[0], cb[0]), min(ca[1], cb[1])}
+	hi := [2]int{max(ca[0], cb[0]), max(ca[1], cb[1])}
+	var cells [][2]int
+	for x := lo[0]; x <= hi[0]; x++ {
+		for y := lo[1]; y <= hi[1]; y++ {
+			cells = append(cells, [2]int{x, y})
+		}
+	}
+	return cells
+}
+
+func (m *mesher) addFront(a, b int32) {
+	// An existing reverse edge cancels instead of coexisting.
+	if rev, ok := m.front[[2]int32{b, a}]; ok {
+		m.removeFront(rev)
+		return
+	}
+	e := &fedge{a: a, b: b, len: m.pts[a].Dist(m.pts[b])}
+	m.front[[2]int32{a, b}] = e
+	heap.Push(&m.heap, e)
+	for _, c := range m.gridCellsOf(m.pts[a], m.pts[b]) {
+		if m.grid[c] == nil {
+			m.grid[c] = map[[2]int32]bool{}
+		}
+		m.grid[c][[2]int32{a, b}] = true
+	}
+}
+
+func (m *mesher) removeFront(e *fedge) {
+	e.dead = true
+	delete(m.front, [2]int32{e.a, e.b})
+	for _, c := range m.gridCellsOf(m.pts[e.a], m.pts[e.b]) {
+		delete(m.grid[c], [2]int32{e.a, e.b})
+	}
+}
+
+// nearbyEdges collects live front edges within radius r of p.
+func (m *mesher) nearbyEdges(p geom.Point, r float64) [][2]int32 {
+	c0 := m.cellOf(p)
+	span := int(math.Ceil(r/m.cell)) + 1
+	seen := map[[2]int32]bool{}
+	var out [][2]int32
+	for dx := -span; dx <= span; dx++ {
+		for dy := -span; dy <= span; dy++ {
+			for key := range m.grid[[2]int{c0[0] + dx, c0[1] + dy}] {
+				if !seen[key] {
+					seen[key] = true
+					out = append(out, key)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// validTriangle checks that joining front edge (a,b) with apex c yields a
+// CCW triangle whose new edges cross no front edge and whose apex is not
+// indecently close to an unrelated front edge.
+func (m *mesher) validTriangle(a, b, c int32, clearance float64) bool {
+	pa, pb, pc := m.pts[a], m.pts[b], m.pts[c]
+	if geom.Orient2DSign(pa, pb, pc) <= 0 {
+		return false
+	}
+	searchR := pa.Dist(pb) + pa.Dist(pc) + clearance
+	for _, key := range m.nearbyEdges(pc, searchR) {
+		ea, eb := key[0], key[1]
+		qs := geom.Segment{A: m.pts[ea], B: m.pts[eb]}
+		// No front vertex may lie inside (or on) the candidate triangle:
+		// without this, edges can wrap around a reflex boundary vertex and
+		// the front escapes the domain.
+		for _, v := range key {
+			if v == a || v == b || v == c {
+				continue
+			}
+			pv := m.pts[v]
+			if geom.Orient2DSign(pa, pb, pv) >= 0 &&
+				geom.Orient2DSign(pb, pc, pv) >= 0 &&
+				geom.Orient2DSign(pc, pa, pv) >= 0 {
+				return false
+			}
+		}
+		// New edges (a,c) and (c,b) must not cross the front edge except
+		// at shared endpoints.
+		for _, ne := range [2][2]int32{{a, c}, {c, b}} {
+			if (ea == ne[0] || ea == ne[1]) && (eb == ne[0] || eb == ne[1]) {
+				continue
+			}
+			ns := geom.Segment{A: m.pts[ne[0]], B: m.pts[ne[1]]}
+			switch geom.SegmentsIntersect(ns, qs) {
+			case geom.SegDisjoint:
+			case geom.SegTouch:
+				// Touching at a shared vertex is fine; touching mid-edge is
+				// not.
+				shared := ea == ne[0] || ea == ne[1] || eb == ne[0] || eb == ne[1]
+				if !shared {
+					return false
+				}
+			default:
+				return false
+			}
+		}
+		// A newly created apex must keep clearance from unrelated edges.
+		if c == int32(len(m.pts)-1) && ea != c && eb != c && ea != a && eb != b && ea != b && eb != a {
+			if geom.PointSegDist(pc, qs) < clearance {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (m *mesher) run() error {
+	for len(m.front) > 0 {
+		if len(m.tris) > m.opt.MaxTriangles {
+			return fmt.Errorf("front: exceeded %d triangles; stalled front or undersized MaxTriangles", m.opt.MaxTriangles)
+		}
+		// Pop the shortest live edge.
+		var e *fedge
+		for m.heap.Len() > 0 {
+			cand := heap.Pop(&m.heap).(*fedge)
+			if !cand.dead {
+				e = cand
+				break
+			}
+		}
+		if e == nil {
+			return fmt.Errorf("front: heap drained with %d live edges", len(m.front))
+		}
+		if err := m.advance(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// advance retires front edge e with the best apex candidate.
+func (m *mesher) advance(e *fedge) error {
+	a, b := e.a, e.b
+	pa, pb := m.pts[a], m.pts[b]
+	mid := pa.Mid(pb)
+	h := m.targetLen(mid)
+	base := pb.Sub(pa)
+	// Interior is on the left: the ideal apex sits at the equilateral
+	// height on the left side, scaled toward the sizing target.
+	apexHeight := math.Sqrt(math.Max(h*h-base.Len2()/4, 0.2*h*h))
+	ideal := mid.Add(base.Perp().Unit().Scale(apexHeight))
+
+	// Candidate existing vertices: endpoints of nearby front edges within
+	// a generous radius of the ideal point, ranked by distance to ideal.
+	type cand struct {
+		v int32
+		d float64
+	}
+	var cands []cand
+	seen := map[int32]bool{a: true, b: true}
+	for _, key := range m.nearbyEdges(ideal, 1.5*h+e.len) {
+		for _, v := range key {
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			d := m.pts[v].Dist(ideal)
+			if d < 1.2*h {
+				cands = append(cands, cand{v, d})
+			}
+		}
+	}
+	// Sort by closeness to the ideal point (insertion sort; few items).
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].d < cands[j-1].d; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	clearance := 0.35 * h
+	for _, cd := range cands {
+		if m.validTriangle(a, b, cd.v, 0) {
+			m.commit(e, cd.v)
+			return nil
+		}
+	}
+	// Place the ideal vertex, retreating toward the edge when the ideal
+	// spot is blocked.
+	for _, scale := range []float64{1, 0.7, 0.45, 0.25} {
+		p := mid.Add(base.Perp().Unit().Scale(apexHeight * scale))
+		v := m.vertex(p)
+		if int(v) == len(m.pts)-1 && m.validTriangle(a, b, v, clearance*scale) {
+			m.commit(e, v)
+			return nil
+		}
+		if int(v) == len(m.pts)-1 {
+			// Roll back the tentative vertex (it is the last one and has
+			// no references yet).
+			delete(m.vindex, p)
+			m.pts = m.pts[:len(m.pts)-1]
+		}
+	}
+	// Last resort: any front vertex that forms a valid triangle.
+	bestV := int32(-1)
+	bestD := math.Inf(1)
+	for _, key := range m.nearbyEdges(mid, 4*h+2*e.len) {
+		for _, v := range key {
+			if v == a || v == b {
+				continue
+			}
+			if geom.Orient2DSign(pa, pb, m.pts[v]) <= 0 {
+				continue
+			}
+			if d := m.pts[v].Dist(mid); d < bestD && m.validTriangle(a, b, v, 0) {
+				bestD = d
+				bestV = v
+			}
+		}
+	}
+	if bestV >= 0 {
+		m.commit(e, bestV)
+		return nil
+	}
+	return fmt.Errorf("front: stalled at edge (%v, %v)", pa, pb)
+}
+
+func (m *mesher) commit(e *fedge, c int32) {
+	m.removeFront(e)
+	m.tris = append(m.tris, [3]int32{e.a, e.b, c})
+	m.addFront(e.a, c)
+	m.addFront(c, e.b)
+}
+
+func (m *mesher) build() *mesh.Mesh {
+	b := mesh.NewBuilder()
+	for _, t := range m.tris {
+		b.AddTriangle(m.pts[t[0]], m.pts[t[1]], m.pts[t[2]])
+	}
+	return b.Mesh()
+}
+
+// subdivide returns the interior points splitting segment (a, b) into
+// pieces no longer than the local target length (exclusive of both
+// endpoints).
+func subdivide(a, b geom.Point, target func(geom.Point) float64) []geom.Point {
+	h := target(a.Mid(b))
+	if h <= 0 {
+		return nil
+	}
+	n := int(math.Ceil(a.Dist(b) / h))
+	if n <= 1 {
+		return nil
+	}
+	out := make([]geom.Point, 0, n-1)
+	for k := 1; k < n; k++ {
+		out = append(out, a.Lerp(b, float64(k)/float64(n)))
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,197 @@
+package front
+
+import (
+	"math"
+	"testing"
+
+	"pamg2d/internal/delaunay"
+	"pamg2d/internal/geom"
+	"pamg2d/internal/sizing"
+)
+
+func square(s float64) []geom.Point {
+	return []geom.Point{geom.Pt(0, 0), geom.Pt(s, 0), geom.Pt(s, s), geom.Pt(0, s)}
+}
+
+func circle(cx, cy, r float64, n int, ccw bool) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		th := 2 * math.Pi * float64(i) / float64(n)
+		if !ccw {
+			th = -th
+		}
+		pts[i] = geom.Pt(cx+r*math.Cos(th), cy+r*math.Sin(th))
+	}
+	return pts
+}
+
+func TestSquareUniform(t *testing.T) {
+	m, err := Mesh([][]geom.Point{square(4)}, Options{SizeAt: sizing.Uniform(0.3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Area(); math.Abs(got-16) > 1e-9 {
+		t.Errorf("area = %v, want 16", got)
+	}
+	// Rough element count: area / target.
+	if n := m.NumTriangles(); n < 30 || n > 300 {
+		t.Errorf("triangles = %d; expected on the order of 16/0.3", n)
+	}
+	q := m.Quality()
+	if q.MinAngleDeg < 10 {
+		t.Errorf("min angle %.1f deg; advancing front should stay above 10", q.MinAngleDeg)
+	}
+}
+
+func TestCircleWithHole(t *testing.T) {
+	outer := circle(0, 0, 3, 48, true)
+	hole := circle(0, 0, 1, 24, false) // CW: a hole
+	m, err := Mesh([][]geom.Point{outer, hole}, Options{SizeAt: sizing.Uniform(0.2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	// Annulus area between the polygonal rings.
+	polyArea := func(pts []geom.Point) float64 {
+		var s float64
+		n := len(pts)
+		for i := 0; i < n; i++ {
+			p, q := pts[i], pts[(i+1)%n]
+			s += p.X*q.Y - q.X*p.Y
+		}
+		return s / 2
+	}
+	want := polyArea(outer) + polyArea(hole) // hole is CW: negative
+	if got := m.Area(); math.Abs(got-want) > 1e-9*want {
+		t.Errorf("area = %v, want %v", got, want)
+	}
+	// No triangle centroid inside the hole.
+	for _, tri := range m.Triangles {
+		a, b, c := m.Points[tri[0]], m.Points[tri[1]], m.Points[tri[2]]
+		cx, cy := (a.X+b.X+c.X)/3, (a.Y+b.Y+c.Y)/3
+		if math.Hypot(cx, cy) < 0.95 {
+			t.Fatalf("triangle centroid (%v,%v) inside the hole", cx, cy)
+		}
+	}
+}
+
+func TestGradedSizing(t *testing.T) {
+	size := func(p geom.Point) float64 {
+		h := 0.1 + 0.3*math.Hypot(p.X-2, p.Y-2)
+		return math.Sqrt(3) / 4 * h * h
+	}
+	m, err := Mesh([][]geom.Point{square(4)}, Options{SizeAt: size})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	// Cells near the center (2,2) must be smaller than corner cells.
+	var nearSum, nearN, farSum, farN float64
+	for _, tri := range m.Triangles {
+		a, b, c := m.Points[tri[0]], m.Points[tri[1]], m.Points[tri[2]]
+		cx, cy := (a.X+b.X+c.X)/3, (a.Y+b.Y+c.Y)/3
+		area := math.Abs(geom.TriangleArea(a, b, c))
+		if math.Hypot(cx-2, cy-2) < 0.7 {
+			nearSum += area
+			nearN++
+		} else if math.Hypot(cx-2, cy-2) > 2 {
+			farSum += area
+			farN++
+		}
+	}
+	if nearN == 0 || farN == 0 {
+		t.Fatal("sampling regions empty")
+	}
+	if nearSum/nearN >= farSum/farN {
+		t.Errorf("graded AF mesh: near mean area %v not smaller than far %v", nearSum/nearN, farSum/farN)
+	}
+}
+
+func TestConcaveDomain(t *testing.T) {
+	l := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(4, 2), geom.Pt(2, 2), geom.Pt(2, 4), geom.Pt(0, 4),
+	}
+	m, err := Mesh([][]geom.Point{l}, Options{SizeAt: sizing.Uniform(0.25)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Area(); math.Abs(got-12) > 1e-9 {
+		t.Errorf("L-domain area = %v, want 12", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Mesh([][]geom.Point{square(1)}, Options{}); err == nil {
+		t.Error("missing sizing must fail")
+	}
+	if _, err := Mesh([][]geom.Point{{geom.Pt(0, 0), geom.Pt(1, 0)}}, Options{SizeAt: sizing.Uniform(1)}); err == nil {
+		t.Error("two-point loop must fail")
+	}
+	// A CW outer loop (negative area) must be rejected.
+	cw := square(2)
+	for i, j := 0, len(cw)-1; i < j; i, j = i+1, j-1 {
+		cw[i], cw[j] = cw[j], cw[i]
+	}
+	if _, err := Mesh([][]geom.Point{cw}, Options{SizeAt: sizing.Uniform(1)}); err == nil {
+		t.Error("CW outer loop must fail")
+	}
+}
+
+func BenchmarkFrontVsRuppert(b *testing.B) {
+	size := sizing.Uniform(0.02)
+	b.Run("advancing-front", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Mesh([][]geom.Point{square(4)}, Options{SizeAt: size}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func TestQualityAfterCleanup(t *testing.T) {
+	m, err := Mesh([][]geom.Point{square(4)}, Options{SizeAt: sizing.Uniform(0.05)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := m.Quality()
+	t.Logf("advancing front: %d triangles, min angle %.1f, worst ratio %.2f",
+		m.NumTriangles(), q.MinAngleDeg, q.MaxRadiusEdge)
+	if q.MinAngleDeg < 12 {
+		t.Errorf("min angle %.1f after flip+smooth cleanup", q.MinAngleDeg)
+	}
+}
+
+// TestComparableToRuppert checks the two paradigms produce comparable
+// meshes on the same domain and sizing: similar element counts, both
+// passing audits.
+func TestComparableToRuppert(t *testing.T) {
+	size := sizing.Uniform(0.08)
+	af, err := Mesh([][]geom.Point{square(4)}, Options{SizeAt: size})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := delaunay.Input{
+		Points:   square(4),
+		Segments: [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 0}},
+	}
+	res, err := delaunay.TriangulateRefined(in, delaunay.Quality{
+		MaxRadiusEdgeRatio: math.Sqrt2, SizeAt: size,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(af.NumTriangles()) / float64(len(res.Triangles))
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Errorf("element counts diverge: AF %d vs Ruppert %d", af.NumTriangles(), len(res.Triangles))
+	}
+}

@@ -1,0 +1,136 @@
+package front
+
+import (
+	"pamg2d/internal/geom"
+)
+
+// Advancing-front meshes are cleaned up by the classical post-pass:
+// Delaunay edge flipping removes the slivers left where fronts collide,
+// and Laplacian smoothing of interior vertices (boundary vertices stay
+// fixed) evens out the element sizes. Flips and smoothing alternate for a
+// few rounds, each step validated so the mesh stays CCW and conforming.
+
+// postProcess runs the flip/smooth rounds on the mesher's triangle soup.
+func (m *mesher) postProcess(boundary map[int32]bool) {
+	for round := 0; round < 4; round++ {
+		flips := m.flipToDelaunay()
+		moved := m.smoothInterior(boundary)
+		if flips == 0 && moved == 0 {
+			break
+		}
+	}
+}
+
+// flipToDelaunay performs local incircle flips until no interior edge
+// violates the Delaunay criterion (or an iteration cap fires). Returns the
+// number of flips performed.
+func (m *mesher) flipToDelaunay() int {
+	total := 0
+	for pass := 0; pass < 30; pass++ {
+		type ek struct{ a, b int32 }
+		owner := make(map[ek]int, 3*len(m.tris))
+		for i, t := range m.tris {
+			for e := 0; e < 3; e++ {
+				owner[ek{t[e], t[(e+1)%3]}] = i
+			}
+		}
+		touched := make([]bool, len(m.tris))
+		flips := 0
+		for i := range m.tris {
+			if touched[i] {
+				continue
+			}
+			t := m.tris[i]
+			for e := 0; e < 3; e++ {
+				a, b := t[e], t[(e+1)%3]
+				j, ok := owner[ek{b, a}]
+				if !ok || j == i || touched[j] {
+					continue
+				}
+				c := t[(e+2)%3] // apex of triangle i
+				// Apex of triangle j across (b,a).
+				tj := m.tris[j]
+				var d int32 = -1
+				for k := 0; k < 3; k++ {
+					if tj[k] == b && tj[(k+1)%3] == a {
+						d = tj[(k+2)%3]
+					}
+				}
+				if d < 0 {
+					continue
+				}
+				pa, pb, pc, pd := m.pts[a], m.pts[b], m.pts[c], m.pts[d]
+				if geom.InCircle(pa, pb, pc, pd) <= 0 {
+					continue // locally Delaunay
+				}
+				// Flip (a,b) -> (c,d), valid only when the quad is convex.
+				if geom.Orient2DSign(pc, pd, pa) >= 0 || geom.Orient2DSign(pc, pd, pb) <= 0 {
+					continue
+				}
+				m.tris[i] = [3]int32{c, a, d}
+				m.tris[j] = [3]int32{d, b, c}
+				touched[i] = true
+				touched[j] = true
+				flips++
+				break
+			}
+		}
+		total += flips
+		if flips == 0 {
+			return total
+		}
+	}
+	return total
+}
+
+// smoothInterior moves each non-boundary vertex toward the centroid of its
+// neighbors, keeping every incident triangle CCW. Returns how many
+// vertices moved.
+func (m *mesher) smoothInterior(boundary map[int32]bool) int {
+	n := len(m.pts)
+	neighbors := make(map[int32]map[int32]bool, n)
+	incident := make(map[int32][]int, n)
+	for ti, t := range m.tris {
+		for e := 0; e < 3; e++ {
+			v := t[e]
+			if neighbors[v] == nil {
+				neighbors[v] = map[int32]bool{}
+			}
+			neighbors[v][t[(e+1)%3]] = true
+			neighbors[v][t[(e+2)%3]] = true
+			incident[v] = append(incident[v], ti)
+		}
+	}
+	moved := 0
+	for v := int32(0); v < int32(n); v++ {
+		if boundary[v] || len(neighbors[v]) == 0 {
+			continue
+		}
+		var sx, sy float64
+		for nb := range neighbors[v] {
+			sx += m.pts[nb].X
+			sy += m.pts[nb].Y
+		}
+		k := float64(len(neighbors[v]))
+		cand := geom.Pt(sx/k, sy/k)
+		if cand == m.pts[v] {
+			continue
+		}
+		old := m.pts[v]
+		m.pts[v] = cand
+		ok := true
+		for _, ti := range incident[v] {
+			t := m.tris[ti]
+			if geom.Orient2DSign(m.pts[t[0]], m.pts[t[1]], m.pts[t[2]]) <= 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			m.pts[v] = old
+			continue
+		}
+		moved++
+	}
+	return moved
+}

@@ -1,0 +1,277 @@
+// Package geom provides the low-level computational geometry substrate for
+// the mesh generator: points, vectors, bounding boxes, segments, robust
+// adaptive-precision orientation and incircle predicates, and exact segment
+// intersection tests.
+//
+// The predicates follow Shewchuk's filtered-exact approach: a fast
+// floating-point evaluation with a forward error bound, falling back to an
+// exact evaluation using floating-point expansions when the filter cannot
+// certify the sign. All downstream Delaunay code relies on these predicates
+// never reporting a wrong sign.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a point in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt returns the point (x, y).
+func Pt(x, y float64) Point { return Point{x, y} }
+
+// V returns the vector (x, y).
+func V(x, y float64) Vec { return Vec{x, y} }
+
+// Vec is a displacement in the plane.
+type Vec struct {
+	X, Y float64
+}
+
+// Add returns p translated by v.
+func (p Point) Add(v Vec) Point { return Point{p.X + v.X, p.Y + v.Y} }
+
+// Sub returns the displacement from q to p.
+func (p Point) Sub(q Point) Vec { return Vec{p.X - q.X, p.Y - q.Y} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
+
+// Dist2 returns the squared Euclidean distance between p and q.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Mid returns the midpoint of p and q.
+func (p Point) Mid(q Point) Point { return Point{(p.X + q.X) / 2, (p.Y + q.Y) / 2} }
+
+// Lerp returns the point (1-t)*p + t*q.
+func (p Point) Lerp(q Point, t float64) Point {
+	return Point{p.X + t*(q.X-p.X), p.Y + t*(q.Y-p.Y)}
+}
+
+func (p Point) String() string { return fmt.Sprintf("(%.17g, %.17g)", p.X, p.Y) }
+
+// Scale returns v scaled by s.
+func (v Vec) Scale(s float64) Vec { return Vec{v.X * s, v.Y * s} }
+
+// Add returns the vector sum v+w.
+func (v Vec) Add(w Vec) Vec { return Vec{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns the vector difference v-w.
+func (v Vec) Sub(w Vec) Vec { return Vec{v.X - w.X, v.Y - w.Y} }
+
+// Dot returns the dot product of v and w.
+func (v Vec) Dot(w Vec) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Cross returns the z-component of the cross product v x w.
+func (v Vec) Cross(w Vec) float64 { return v.X*w.Y - v.Y*w.X }
+
+// Len returns the Euclidean length of v.
+func (v Vec) Len() float64 { return math.Hypot(v.X, v.Y) }
+
+// Len2 returns the squared length of v.
+func (v Vec) Len2() float64 { return v.X*v.X + v.Y*v.Y }
+
+// Unit returns v normalized to unit length. The zero vector is returned
+// unchanged.
+func (v Vec) Unit() Vec {
+	l := v.Len()
+	if l == 0 {
+		return v
+	}
+	return Vec{v.X / l, v.Y / l}
+}
+
+// Perp returns v rotated 90 degrees counter-clockwise.
+func (v Vec) Perp() Vec { return Vec{-v.Y, v.X} }
+
+// Neg returns -v.
+func (v Vec) Neg() Vec { return Vec{-v.X, -v.Y} }
+
+// Angle returns the angle of v in radians in (-pi, pi].
+func (v Vec) Angle() float64 { return math.Atan2(v.Y, v.X) }
+
+// AngleBetween returns the unsigned angle between v and w in [0, pi].
+func (v Vec) AngleBetween(w Vec) float64 {
+	d := v.Unit().Dot(w.Unit())
+	if d > 1 {
+		d = 1
+	} else if d < -1 {
+		d = -1
+	}
+	return math.Acos(d)
+}
+
+// Rotate returns v rotated counter-clockwise by theta radians.
+func (v Vec) Rotate(theta float64) Vec {
+	s, c := math.Sin(theta), math.Cos(theta)
+	return Vec{c*v.X - s*v.Y, s*v.X + c*v.Y}
+}
+
+// BBox is an axis-aligned bounding box. An empty box has Min > Max.
+type BBox struct {
+	Min, Max Point
+}
+
+// EmptyBBox returns a box that contains nothing and absorbs any point added
+// to it.
+func EmptyBBox() BBox {
+	inf := math.Inf(1)
+	return BBox{Min: Point{inf, inf}, Max: Point{-inf, -inf}}
+}
+
+// Empty reports whether b contains no points.
+func (b BBox) Empty() bool { return b.Min.X > b.Max.X || b.Min.Y > b.Max.Y }
+
+// Extend returns b grown to include p.
+func (b BBox) Extend(p Point) BBox {
+	if p.X < b.Min.X {
+		b.Min.X = p.X
+	}
+	if p.Y < b.Min.Y {
+		b.Min.Y = p.Y
+	}
+	if p.X > b.Max.X {
+		b.Max.X = p.X
+	}
+	if p.Y > b.Max.Y {
+		b.Max.Y = p.Y
+	}
+	return b
+}
+
+// Union returns the smallest box containing both b and c.
+func (b BBox) Union(c BBox) BBox {
+	if c.Empty() {
+		return b
+	}
+	if b.Empty() {
+		return c
+	}
+	return b.Extend(c.Min).Extend(c.Max)
+}
+
+// Contains reports whether p lies inside or on the boundary of b.
+func (b BBox) Contains(p Point) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X && p.Y >= b.Min.Y && p.Y <= b.Max.Y
+}
+
+// Intersects reports whether b and c share any point (boundaries count).
+func (b BBox) Intersects(c BBox) bool {
+	return b.Min.X <= c.Max.X && c.Min.X <= b.Max.X &&
+		b.Min.Y <= c.Max.Y && c.Min.Y <= b.Max.Y
+}
+
+// Inflate returns b grown by d on every side.
+func (b BBox) Inflate(d float64) BBox {
+	return BBox{Point{b.Min.X - d, b.Min.Y - d}, Point{b.Max.X + d, b.Max.Y + d}}
+}
+
+// Width returns the x extent of b.
+func (b BBox) Width() float64 { return b.Max.X - b.Min.X }
+
+// Height returns the y extent of b.
+func (b BBox) Height() float64 { return b.Max.Y - b.Min.Y }
+
+// Center returns the center point of b.
+func (b BBox) Center() Point { return b.Min.Mid(b.Max) }
+
+// BBoxOf returns the bounding box of the given points.
+func BBoxOf(pts []Point) BBox {
+	b := EmptyBBox()
+	for _, p := range pts {
+		b = b.Extend(p)
+	}
+	return b
+}
+
+// Segment is a directed line segment from A to B.
+type Segment struct {
+	A, B Point
+}
+
+// BBox returns the bounding box of s.
+func (s Segment) BBox() BBox {
+	return EmptyBBox().Extend(s.A).Extend(s.B)
+}
+
+// Len returns the length of s.
+func (s Segment) Len() float64 { return s.A.Dist(s.B) }
+
+// Mid returns the midpoint of s.
+func (s Segment) Mid() Point { return s.A.Mid(s.B) }
+
+// Triangle circumscribed-circle helpers.
+
+// Circumcenter returns the circumcenter of triangle abc. The triangle must
+// not be degenerate; for a (nearly) degenerate triangle the result may be
+// far away or non-finite.
+func Circumcenter(a, b, c Point) Point {
+	// Translate so a is the origin for numerical stability.
+	bx, by := b.X-a.X, b.Y-a.Y
+	cx, cy := c.X-a.X, c.Y-a.Y
+	d := 2 * (bx*cy - by*cx)
+	b2 := bx*bx + by*by
+	c2 := cx*cx + cy*cy
+	ux := (cy*b2 - by*c2) / d
+	uy := (bx*c2 - cx*b2) / d
+	return Point{a.X + ux, a.Y + uy}
+}
+
+// Circumradius returns the circumradius of triangle abc.
+func Circumradius(a, b, c Point) float64 {
+	return Circumcenter(a, b, c).Dist(a)
+}
+
+// TriangleArea returns the signed area of triangle abc (positive when abc
+// is counter-clockwise).
+func TriangleArea(a, b, c Point) float64 {
+	return Orient2D(a, b, c) / 2
+}
+
+// MinAngle returns the smallest interior angle of triangle abc in radians.
+func MinAngle(a, b, c Point) float64 {
+	ang := func(p, q, r Point) float64 { return q.Sub(p).AngleBetween(r.Sub(p)) }
+	m := ang(a, b, c)
+	if x := ang(b, c, a); x < m {
+		m = x
+	}
+	if x := ang(c, a, b); x < m {
+		m = x
+	}
+	return m
+}
+
+// AspectRatio returns the ratio of the longest edge to the shortest
+// altitude of triangle abc; equilateral triangles give 2/sqrt(3).
+func AspectRatio(a, b, c Point) float64 {
+	ab := a.Dist(b)
+	bc := b.Dist(c)
+	ca := c.Dist(a)
+	longest := math.Max(ab, math.Max(bc, ca))
+	area := math.Abs(TriangleArea(a, b, c))
+	if area == 0 {
+		return math.Inf(1)
+	}
+	shortestAlt := 2 * area / longest
+	return longest / shortestAlt
+}
+
+// CircumradiusToShortestEdge returns the circumradius-to-shortest-edge
+// ratio of triangle abc, the quality measure bounded by sqrt(2) in
+// Ruppert's algorithm.
+func CircumradiusToShortestEdge(a, b, c Point) float64 {
+	ab := a.Dist(b)
+	bc := b.Dist(c)
+	ca := c.Dist(a)
+	shortest := math.Min(ab, math.Min(bc, ca))
+	if shortest == 0 {
+		return math.Inf(1)
+	}
+	return Circumradius(a, b, c) / shortest
+}

@@ -1,0 +1,170 @@
+package geom
+
+import "math"
+
+// Error-bound coefficients for the floating-point filters, computed from the
+// machine epsilon of IEEE binary64 following Shewchuk. epsilon here is half
+// an ulp of 1.0, i.e. 2^-53.
+var (
+	epsilon      = math.Ldexp(1, -53)
+	ccwErrBoundA = (3.0 + 16.0*epsilon) * epsilon
+	iccErrBoundA = (10.0 + 96.0*epsilon) * epsilon
+)
+
+// Orient2D returns a positive value if the points a, b, c occur in
+// counter-clockwise order, a negative value if they occur in clockwise
+// order, and zero if they are collinear. The sign of the result is exact;
+// the magnitude is an approximation of twice the signed triangle area.
+func Orient2D(a, b, c Point) float64 {
+	detLeft := (a.X - c.X) * (b.Y - c.Y)
+	detRight := (a.Y - c.Y) * (b.X - c.X)
+	det := detLeft - detRight
+
+	var detSum float64
+	if detLeft > 0 {
+		if detRight <= 0 {
+			return det
+		}
+		detSum = detLeft + detRight
+	} else if detLeft < 0 {
+		if detRight >= 0 {
+			return det
+		}
+		detSum = -detLeft - detRight
+	} else {
+		return det
+	}
+	errBound := ccwErrBoundA * detSum
+	if det >= errBound || -det >= errBound {
+		return det
+	}
+	return orient2DExact(a, b, c)
+}
+
+// orient2DExact evaluates the 2x2 orientation determinant exactly on the
+// original (untranslated) coordinates:
+//
+//	| ax-cx  ay-cy |   = ax*by - ax*cy - ay*bx + ay*cx + bx*cy - by*cx
+//	| bx-cx  by-cy |
+func orient2DExact(a, b, c Point) float64 {
+	axby := twoTwoDiff(a.X, b.Y, a.X, c.Y) // ax*by - ax*cy
+	aybx := twoTwoDiff(a.Y, c.X, a.Y, b.X) // ay*cx - ay*bx
+	bxcy := twoTwoDiff(b.X, c.Y, b.Y, c.X) // bx*cy - by*cx
+	det := expSum(expSum(axby, aybx), bxcy)
+	return expEstimate(det)
+}
+
+// Orient2DSign returns the sign of Orient2D as -1, 0, or +1.
+func Orient2DSign(a, b, c Point) int {
+	d := Orient2D(a, b, c)
+	if d > 0 {
+		return 1
+	}
+	if d < 0 {
+		return -1
+	}
+	return 0
+}
+
+// InCircle returns a positive value if point d lies inside the circle
+// through a, b, c (which must be in counter-clockwise order), a negative
+// value if d lies outside, and zero if the four points are cocircular.
+// The sign of the result is exact.
+func InCircle(a, b, c, d Point) float64 {
+	adx := a.X - d.X
+	ady := a.Y - d.Y
+	bdx := b.X - d.X
+	bdy := b.Y - d.Y
+	cdx := c.X - d.X
+	cdy := c.Y - d.Y
+
+	bdxcdy := bdx * cdy
+	cdxbdy := cdx * bdy
+	alift := adx*adx + ady*ady
+
+	cdxady := cdx * ady
+	adxcdy := adx * cdy
+	blift := bdx*bdx + bdy*bdy
+
+	adxbdy := adx * bdy
+	bdxady := bdx * ady
+	clift := cdx*cdx + cdy*cdy
+
+	det := alift*(bdxcdy-cdxbdy) + blift*(cdxady-adxcdy) + clift*(adxbdy-bdxady)
+
+	permanent := (abs(bdxcdy)+abs(cdxbdy))*alift +
+		(abs(cdxady)+abs(adxcdy))*blift +
+		(abs(adxbdy)+abs(bdxady))*clift
+	errBound := iccErrBoundA * permanent
+	if det > errBound || -det > errBound {
+		return det
+	}
+	return inCircleExact(a, b, c, d)
+}
+
+// inCircleExact evaluates the incircle determinant exactly on the original
+// coordinates via the 4x4 lifted determinant
+//
+//	| ax ay ax^2+ay^2 1 |
+//	| bx by bx^2+by^2 1 |
+//	| cx cy cx^2+cy^2 1 |
+//	| dx dy dx^2+dy^2 1 |
+//
+// expanded along the last column. The sign equals the sign of the
+// translated 3x3 determinant used by the fast path.
+func inCircleExact(a, b, c, d Point) float64 {
+	lift := func(p Point) []float64 {
+		x1, x0 := twoProduct(p.X, p.X)
+		y1, y0 := twoProduct(p.Y, p.Y)
+		return expSum([]float64{x0, x1}, []float64{y0, y1})
+	}
+	la := lift(a)
+	lb := lift(b)
+	lc := lift(c)
+	ld := lift(d)
+
+	// 2x2 minors m[pq] = px*qy - py*qx for all ordered pairs we need.
+	mab := twoTwoDiff(a.X, b.Y, a.Y, b.X)
+	mac := twoTwoDiff(a.X, c.Y, a.Y, c.X)
+	mad := twoTwoDiff(a.X, d.Y, a.Y, d.X)
+	mbc := twoTwoDiff(b.X, c.Y, b.Y, c.X)
+	mbd := twoTwoDiff(b.X, d.Y, b.Y, d.X)
+	mcd := twoTwoDiff(c.X, d.Y, c.Y, d.X)
+
+	// 3x3 minor with rows p,q,r (columns x,y,lift):
+	//   lift(p)*m[qr] - lift(q)*m[pr] + lift(r)*m[pq]
+	minor3 := func(lp, lq, lr, mqr, mpr, mpq []float64) []float64 {
+		t := expMul(lp, mqr)
+		t = expSum(t, expNeg(expMul(lq, mpr)))
+		return expSum(t, expMul(lr, mpq))
+	}
+	// det = -M(b,c,d) + M(a,c,d) - M(a,b,d) + M(a,b,c)
+	mbcd := minor3(lb, lc, ld, mcd, mbd, mbc)
+	macd := minor3(la, lc, ld, mcd, mad, mac)
+	mabd := minor3(la, lb, ld, mbd, mad, mab)
+	mabc := minor3(la, lb, lc, mbc, mac, mab)
+
+	det := expSum(expNeg(mbcd), macd)
+	det = expSum(det, expNeg(mabd))
+	det = expSum(det, mabc)
+	return expEstimate(det)
+}
+
+// InCircleSign returns the sign of InCircle as -1, 0, or +1.
+func InCircleSign(a, b, c, d Point) int {
+	v := InCircle(a, b, c, d)
+	if v > 0 {
+		return 1
+	}
+	if v < 0 {
+		return -1
+	}
+	return 0
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,210 @@
+package hull
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pamg2d/internal/geom"
+)
+
+func sortPts(pts []geom.Point) {
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].X != pts[j].X {
+			return pts[i].X < pts[j].X
+		}
+		return pts[i].Y < pts[j].Y
+	})
+}
+
+func TestLowerSortedSquare(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(0, 1), geom.Pt(1, 0), geom.Pt(1, 1)}
+	sortPts(pts)
+	// The chain runs from the lexicographically smallest point (0,0) to the
+	// largest (1,1), passing under the square via (1,0).
+	h := LowerSorted(pts)
+	if len(h) != 3 {
+		t.Fatalf("lower hull of square: got %d points, want 3", len(h))
+	}
+	want := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 1)}
+	for i, hi := range h {
+		if pts[hi] != want[i] {
+			t.Errorf("hull[%d] = %v, want %v", i, pts[hi], want[i])
+		}
+	}
+}
+
+func TestLowerSortedV(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 1), geom.Pt(1, 0), geom.Pt(2, 1)}
+	h := LowerSorted(pts)
+	if len(h) != 3 {
+		t.Fatalf("V shape: got %d hull points, want 3", len(h))
+	}
+}
+
+func TestLowerSortedCollinearRemoved(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0), geom.Pt(3, 0)}
+	h := LowerSorted(pts)
+	if len(h) != 2 {
+		t.Fatalf("collinear points: got %d hull points, want 2 (endpoints)", len(h))
+	}
+}
+
+func TestLowerSortedSmall(t *testing.T) {
+	if h := LowerSorted(nil); h != nil {
+		t.Error("empty input must give nil")
+	}
+	if h := LowerSorted([]geom.Point{geom.Pt(1, 1)}); len(h) != 1 || h[0] != 0 {
+		t.Error("single point must give itself")
+	}
+	if h := LowerSorted([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 1)}); len(h) != 2 {
+		t.Error("two points must both be on the hull")
+	}
+}
+
+func TestUpperSortedMirror(t *testing.T) {
+	// The upper hull of S is the reflection of the lower hull of -S.
+	rng := rand.New(rand.NewSource(3))
+	pts := make([]geom.Point, 50)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64(), rng.Float64())
+	}
+	sortPts(pts)
+	upper := UpperSorted(pts)
+	neg := make([]geom.Point, len(pts))
+	for i, p := range pts {
+		neg[i] = geom.Pt(p.X, -p.Y)
+	}
+	lowerOfNeg := LowerSorted(neg)
+	if len(upper) != len(lowerOfNeg) {
+		t.Fatalf("upper hull size %d != mirrored lower hull size %d", len(upper), len(lowerOfNeg))
+	}
+	for i := range upper {
+		if upper[i] != lowerOfNeg[i] {
+			t.Fatalf("index %d: %d vs %d", i, upper[i], lowerOfNeg[i])
+		}
+	}
+}
+
+func TestConvexSquareWithInterior(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(2, 0), geom.Pt(2, 2), geom.Pt(0, 2), geom.Pt(1, 1), geom.Pt(0.5, 0.7)}
+	h := Convex(pts)
+	if len(h) != 4 {
+		t.Fatalf("hull of square+interior: got %d points, want 4: %v", len(h), h)
+	}
+	// Must be counter-clockwise.
+	area := 0.0
+	for i := range h {
+		j := (i + 1) % len(h)
+		area += h[i].X*h[j].Y - h[j].X*h[i].Y
+	}
+	if area <= 0 {
+		t.Errorf("hull not CCW, signed area %v", area)
+	}
+}
+
+func TestConvexDuplicates(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 0), geom.Pt(0, 1)}
+	h := Convex(pts)
+	if len(h) != 3 {
+		t.Fatalf("hull with duplicates: got %d, want 3", len(h))
+	}
+}
+
+func TestConvexDegenerate(t *testing.T) {
+	if h := Convex(nil); h != nil {
+		t.Error("nil input")
+	}
+	h := Convex([]geom.Point{geom.Pt(1, 1), geom.Pt(1, 1)})
+	if len(h) != 1 {
+		t.Errorf("all-same points: got %d, want 1", len(h))
+	}
+	h = Convex([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 1), geom.Pt(2, 2), geom.Pt(3, 3)})
+	if len(h) != 2 {
+		t.Errorf("collinear points: got %d, want 2", len(h))
+	}
+}
+
+// Property: every input point lies on or above the lower hull chain
+// (no point below), and hull vertices make strict left turns.
+func TestLowerHullProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%100 + 3
+		rng := rand.New(rand.NewSource(seed))
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(math.Round(rng.Float64()*100)/10, math.Round(rng.Float64()*100)/10)
+		}
+		sortPts(pts)
+		h := LowerSorted(pts)
+		// Strict left turns along the hull.
+		for i := 0; i+2 < len(h); i++ {
+			if geom.Orient2DSign(pts[h[i]], pts[h[i+1]], pts[h[i+2]]) <= 0 {
+				return false
+			}
+		}
+		// No input point strictly below any hull edge.
+		for i := 0; i+1 < len(h); i++ {
+			a, b := pts[h[i]], pts[h[i+1]]
+			for _, p := range pts {
+				if p.X < a.X || p.X > b.X {
+					continue
+				}
+				if geom.Orient2DSign(a, b, p) < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Convex is idempotent — the hull of the hull is the hull.
+func TestConvexIdempotent(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%50 + 3
+		rng := rand.New(rand.NewSource(seed))
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*10, rng.Float64()*10)
+		}
+		h1 := Convex(pts)
+		h2 := Convex(h1)
+		if len(h1) != len(h2) {
+			return false
+		}
+		// Same point set (order may rotate; compare as sets).
+		set := make(map[geom.Point]bool, len(h1))
+		for _, p := range h1 {
+			set[p] = true
+		}
+		for _, p := range h2 {
+			if !set[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLowerSorted(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]geom.Point, 10000)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64(), rng.Float64())
+	}
+	sortPts(pts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LowerSorted(pts)
+	}
+}

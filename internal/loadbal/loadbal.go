@@ -1,0 +1,310 @@
+// Package loadbal implements the paper's dynamic load balancing: each
+// process keeps its subdomains in a priority queue ordered by estimated
+// meshing cost (boundary-layer subdomains first — they hold the most
+// points and are the most expensive to transfer, so they are meshed while
+// everyone still has work). Every process runs a mesher goroutine and a
+// communicator goroutine; the communicator keeps the process's remaining
+// work estimate fresh in an RMA window hosted on the root, requests work
+// from the most loaded process when the local estimate falls below a
+// threshold, and serves incoming work requests from the local queue.
+package loadbal
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+
+	"pamg2d/internal/mpi"
+)
+
+// Task is one unit of meshing work (a subdomain).
+type Task struct {
+	// ID is unique across all ranks.
+	ID int32
+	// Cost is the estimated number of triangles the task will produce.
+	Cost float64
+	// BoundaryLayer marks boundary-layer subdomains, which are prioritized
+	// ahead of inviscid subdomains of any cost.
+	BoundaryLayer bool
+	// Payload is the serialized subdomain, opaque to the balancer.
+	Payload []byte
+}
+
+// message tags of the stealing protocol.
+const (
+	tagRequest = iota + 100
+	tagGrant
+	tagDeny
+	tagComplete
+	tagTerminate
+)
+
+// Options tunes the balancer.
+type Options struct {
+	// StealBelow triggers a steal request when the local remaining cost
+	// drops below this value.
+	StealBelow float64
+	// Poll is the communicator loop interval.
+	Poll time.Duration
+}
+
+// DefaultOptions returns the tuning used by the pipeline.
+func DefaultOptions(totalCost float64, ranks int) Options {
+	return Options{
+		StealBelow: totalCost / float64(ranks) / 4,
+		Poll:       200 * time.Microsecond,
+	}
+}
+
+// Stats reports per-rank balancer behavior.
+type Stats struct {
+	Processed     int
+	Failed        int // tasks whose process callback panicked
+	StealRequests int
+	StealsGranted int // requests this rank satisfied for others
+	StealsGotten  int // tasks this rank received from others
+	IdleTime      time.Duration
+}
+
+// taskQueue is a max-heap: boundary-layer tasks first, then by cost.
+type taskQueue []Task
+
+func (q taskQueue) Len() int { return len(q) }
+func (q taskQueue) Less(i, j int) bool {
+	if q[i].BoundaryLayer != q[j].BoundaryLayer {
+		return q[i].BoundaryLayer
+	}
+	return q[i].Cost > q[j].Cost
+}
+func (q taskQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *taskQueue) Push(x interface{}) { *q = append(*q, x.(Task)) }
+func (q *taskQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	*q = old[:n-1]
+	return t
+}
+
+// state is the queue shared by the two goroutines of one rank.
+type state struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     taskQueue
+	remaining float64 // queued + in-flight cost
+	done      bool
+}
+
+func (s *state) push(t Task) {
+	s.mu.Lock()
+	heap.Push(&s.queue, t)
+	s.remaining += t.Cost
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// popForMesher removes the highest-priority task; the task's cost stays in
+// `remaining` until finish() because it is still unfinished local work.
+func (s *state) popForMesher() (Task, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) == 0 && !s.done {
+		s.cond.Wait()
+	}
+	if len(s.queue) == 0 {
+		return Task{}, false
+	}
+	t := heap.Pop(&s.queue).(Task)
+	return t, true
+}
+
+// popForSteal removes a task to grant to another rank, or reports none to
+// spare.
+func (s *state) popForSteal() (Task, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.queue) == 0 {
+		return Task{}, false
+	}
+	t := heap.Pop(&s.queue).(Task)
+	s.remaining -= t.Cost
+	return t, true
+}
+
+func (s *state) finish(t Task) {
+	s.mu.Lock()
+	s.remaining -= t.Cost
+	s.mu.Unlock()
+}
+
+func (s *state) load() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.remaining
+}
+
+func (s *state) terminate() {
+	s.mu.Lock()
+	s.done = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Run executes all tasks across the world. Every rank calls Run with its
+// initial task list; process is invoked once per task, on exactly one
+// rank. Returns this rank's stats. The window must have one slot per rank.
+func Run(c *mpi.Comm, win *mpi.Window, initial []Task, totalTasks int, opt Options, process func(Task)) Stats {
+	st := &state{}
+	st.cond = sync.NewCond(&st.mu)
+	for _, t := range initial {
+		st.push(t)
+	}
+
+	var stats Stats
+	var statsMu sync.Mutex
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+
+	// Mesher goroutine: drain the queue largest-first.
+	go func() {
+		defer wg.Done()
+		for {
+			idleStart := time.Now()
+			t, ok := st.popForMesher()
+			idle := time.Since(idleStart)
+			statsMu.Lock()
+			stats.IdleTime += idle
+			statsMu.Unlock()
+			if !ok {
+				return
+			}
+			// A panicking task must not take down the rank: the mesher
+			// records the failure and keeps draining, and the completion
+			// still counts toward termination so the world shuts down.
+			failed := false
+			func() {
+				defer func() {
+					if p := recover(); p != nil {
+						failed = true
+					}
+				}()
+				process(t)
+			}()
+			st.finish(t)
+			statsMu.Lock()
+			stats.Processed++
+			if failed {
+				stats.Failed++
+			}
+			statsMu.Unlock()
+			// Report the completion to the root's termination counter.
+			c.Send(0, tagComplete, nil)
+		}
+	}()
+
+	// Communicator goroutine: window updates, stealing, termination.
+	go func() {
+		defer wg.Done()
+		completed := 0 // root only
+		awaitingGrant := false
+		for {
+			// Serve everything pending. Only the balancer's own tags are
+			// consumed, so callers may interleave their own messages (the
+			// pipeline ships task results to the root concurrently).
+			for {
+				data, src, tag, ok := tryRecvBalancer(c)
+				if !ok {
+					break
+				}
+				switch tag {
+				case tagRequest:
+					if t, ok := st.popForSteal(); ok {
+						c.Send(src, tagGrant, encodeTask(t))
+						statsMu.Lock()
+						stats.StealsGranted++
+						statsMu.Unlock()
+					} else {
+						c.Send(src, tagDeny, nil)
+					}
+				case tagGrant:
+					st.push(decodeTask(data))
+					awaitingGrant = false
+					statsMu.Lock()
+					stats.StealsGotten++
+					statsMu.Unlock()
+				case tagDeny:
+					awaitingGrant = false
+				case tagComplete:
+					completed++
+				case tagTerminate:
+					st.terminate()
+					return
+				}
+			}
+			if c.Rank() == 0 && completed == totalTasks {
+				for r := 0; r < c.Size(); r++ {
+					c.Send(r, tagTerminate, nil)
+				}
+				completed = -1 // sent; keep serving until our own terminate arrives
+			}
+			// Publish the current work estimate (MPI_Put on the window).
+			win.Put(c.Rank(), st.load())
+			// Steal when underloaded: fetch the window (MPI_Get) and ask
+			// the most loaded rank.
+			if !awaitingGrant && st.load() < opt.StealBelow {
+				loads := win.Get()
+				victim, best := -1, opt.StealBelow
+				for r, l := range loads {
+					if r != c.Rank() && l > best {
+						victim, best = r, l
+					}
+				}
+				if victim >= 0 {
+					c.Send(victim, tagRequest, nil)
+					awaitingGrant = true
+					statsMu.Lock()
+					stats.StealRequests++
+					statsMu.Unlock()
+				}
+			}
+			time.Sleep(opt.Poll)
+		}
+	}()
+
+	wg.Wait()
+	return stats
+}
+
+// encodeTask serializes a task for transfer.
+// tryRecvBalancer polls only the balancer's tag range.
+func tryRecvBalancer(c *mpi.Comm) (data []byte, src, tag int, ok bool) {
+	for t := tagRequest; t <= tagTerminate; t++ {
+		if d, s, tg, found := c.TryRecv(mpi.AnySource, t); found {
+			return d, s, tg, true
+		}
+	}
+	return nil, 0, 0, false
+}
+
+func encodeTask(t Task) []byte {
+	head := mpi.EncodeFloats([]float64{float64(t.ID), t.Cost, boolTo(t.BoundaryLayer)})
+	return append(head, t.Payload...)
+}
+
+func decodeTask(b []byte) Task {
+	head := mpi.DecodeFloats(b[:24])
+	return Task{
+		ID:            int32(head[0]),
+		Cost:          head[1],
+		BoundaryLayer: head[2] != 0,
+		Payload:       b[24:],
+	}
+}
+
+func boolTo(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

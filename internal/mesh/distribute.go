@@ -1,0 +1,117 @@
+package mesh
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Partition splits the mesh into n submeshes of balanced triangle counts
+// by recursive coordinate bisection of triangle centroids (cutting the
+// longer axis first, like the mesher's own decomposition). Vertices shared
+// between parts are duplicated into each part, which is what a
+// distributed-memory flow solver expects of partitioned input.
+func (m *Mesh) Partition(n int) []*Mesh {
+	if n < 1 {
+		n = 1
+	}
+	idx := make([]int32, len(m.Triangles))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	cx := make([]float64, len(m.Triangles))
+	cy := make([]float64, len(m.Triangles))
+	for i, t := range m.Triangles {
+		a, b, c := m.Points[t[0]], m.Points[t[1]], m.Points[t[2]]
+		cx[i] = (a.X + b.X + c.X) / 3
+		cy[i] = (a.Y + b.Y + c.Y) / 3
+	}
+	parts := make([][]int32, 0, n)
+	var rec func(ids []int32, k int)
+	rec = func(ids []int32, k int) {
+		if k == 1 || len(ids) <= 1 {
+			parts = append(parts, ids)
+			return
+		}
+		// Cut the longer centroid extent.
+		minX, maxX := cx[ids[0]], cx[ids[0]]
+		minY, maxY := cy[ids[0]], cy[ids[0]]
+		for _, id := range ids {
+			if cx[id] < minX {
+				minX = cx[id]
+			}
+			if cx[id] > maxX {
+				maxX = cx[id]
+			}
+			if cy[id] < minY {
+				minY = cy[id]
+			}
+			if cy[id] > maxY {
+				maxY = cy[id]
+			}
+		}
+		byX := maxX-minX >= maxY-minY
+		sort.Slice(ids, func(a, b int) bool {
+			if byX {
+				return cx[ids[a]] < cx[ids[b]]
+			}
+			return cy[ids[a]] < cy[ids[b]]
+		})
+		// Split proportionally to the child part counts.
+		kl := k / 2
+		kr := k - kl
+		mid := len(ids) * kl / k
+		rec(ids[:mid], kl)
+		rec(ids[mid:], kr)
+	}
+	rec(idx, n)
+
+	out := make([]*Mesh, len(parts))
+	for pi, ids := range parts {
+		remap := map[int32]int32{}
+		sub := &Mesh{}
+		for _, id := range ids {
+			t := m.Triangles[id]
+			var nt [3]int32
+			for k := 0; k < 3; k++ {
+				v := t[k]
+				nv, ok := remap[v]
+				if !ok {
+					nv = int32(len(sub.Points))
+					sub.Points = append(sub.Points, m.Points[v])
+					remap[v] = nv
+				}
+				nt[k] = nv
+			}
+			sub.Triangles = append(sub.Triangles, nt)
+		}
+		out[pi] = sub
+	}
+	return out
+}
+
+// WriteDistributed writes the mesh as one binary submesh per writer — the
+// output mode the paper recommends for flow solvers that accept
+// distributed meshes ("if a flow solver can handle a distributed mesh or
+// read from a binary file, the writing time will be less").
+func (m *Mesh) WriteDistributed(ws []io.Writer) error {
+	parts := m.Partition(len(ws))
+	for i, p := range parts {
+		if err := p.WriteBinary(ws[i]); err != nil {
+			return fmt.Errorf("mesh: writing part %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// MergeParts reassembles submeshes (for example read back from
+// WriteDistributed output) into one deduplicated mesh.
+func MergeParts(parts []*Mesh) *Mesh {
+	b := NewBuilder()
+	for _, p := range parts {
+		for _, t := range p.Triangles {
+			b.AddTriangle(p.Points[t[0]], p.Points[t[1]], p.Points[t[2]])
+		}
+	}
+	return b.Mesh()
+}

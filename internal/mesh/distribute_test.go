@@ -1,0 +1,111 @@
+package mesh
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestPartitionBalancedAndComplete(t *testing.T) {
+	m := randomMesh(1000)
+	for _, n := range []int{1, 2, 3, 7, 16} {
+		parts := m.Partition(n)
+		if len(parts) != n {
+			t.Fatalf("n=%d: got %d parts", n, len(parts))
+		}
+		total := 0
+		min, max := 1<<30, 0
+		for _, p := range parts {
+			total += p.NumTriangles()
+			if p.NumTriangles() < min {
+				min = p.NumTriangles()
+			}
+			if p.NumTriangles() > max {
+				max = p.NumTriangles()
+			}
+		}
+		if total != m.NumTriangles() {
+			t.Fatalf("n=%d: parts cover %d of %d triangles", n, total, m.NumTriangles())
+		}
+		if max-min > m.NumTriangles()/n {
+			t.Errorf("n=%d: imbalance min %d max %d", n, min, max)
+		}
+	}
+}
+
+func TestPartitionMergeRoundTrip(t *testing.T) {
+	m := randomMesh(400)
+	parts := m.Partition(8)
+	merged := MergeParts(parts)
+	if merged.NumTriangles() != m.NumTriangles() {
+		t.Fatalf("merged %d triangles, want %d", merged.NumTriangles(), m.NumTriangles())
+	}
+	if merged.NumPoints() != m.NumPoints() {
+		t.Fatalf("merged %d points, want %d (duplicated border vertices must re-deduplicate)",
+			merged.NumPoints(), m.NumPoints())
+	}
+	if got, want := merged.Area(), m.Area(); got < want*(1-1e-12) || got > want*(1+1e-12) {
+		t.Errorf("area %v != %v", got, want)
+	}
+}
+
+func TestWriteDistributedRoundTrip(t *testing.T) {
+	m := randomMesh(300)
+	bufs := make([]bytes.Buffer, 4)
+	ws := make([]io.Writer, 4)
+	for i := range bufs {
+		ws[i] = &bufs[i]
+	}
+	if err := m.WriteDistributed(ws); err != nil {
+		t.Fatal(err)
+	}
+	var parts []*Mesh
+	for i := range bufs {
+		p, err := ReadBinary(&bufs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, p)
+	}
+	merged := MergeParts(parts)
+	if merged.NumTriangles() != m.NumTriangles() {
+		t.Fatalf("round trip lost triangles: %d vs %d", merged.NumTriangles(), m.NumTriangles())
+	}
+}
+
+func TestPartitionSmall(t *testing.T) {
+	m := unitSquareMesh()
+	parts := m.Partition(5) // more parts than triangles
+	total := 0
+	for _, p := range parts {
+		total += p.NumTriangles()
+	}
+	if total != 2 {
+		t.Fatalf("parts cover %d of 2 triangles", total)
+	}
+	if got := m.Partition(0); len(got) != 1 {
+		t.Error("n<1 must clamp to one part")
+	}
+}
+
+func BenchmarkWriteDistributedVsASCII(b *testing.B) {
+	m := randomMesh(20000)
+	b.Run("ascii-single", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := m.WriteASCII(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("binary-distributed-16", func(b *testing.B) {
+		ws := make([]io.Writer, 16)
+		for i := range ws {
+			ws[i] = io.Discard
+		}
+		for i := 0; i < b.N; i++ {
+			if err := m.WriteDistributed(ws); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

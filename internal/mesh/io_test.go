@@ -1,0 +1,79 @@
+package mesh
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestASCIIRoundTrip(t *testing.T) {
+	m := randomMesh(300)
+	var buf bytes.Buffer
+	if err := m.WriteASCII(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadASCII(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumPoints() != m.NumPoints() || got.NumTriangles() != m.NumTriangles() {
+		t.Fatalf("sizes: %d/%d vs %d/%d", got.NumPoints(), got.NumTriangles(), m.NumPoints(), m.NumTriangles())
+	}
+	for i := range m.Points {
+		if got.Points[i] != m.Points[i] {
+			t.Fatalf("point %d: %v != %v (coordinates must round-trip exactly via %%.17g)", i, got.Points[i], m.Points[i])
+		}
+	}
+	for i := range m.Triangles {
+		if got.Triangles[i] != m.Triangles[i] {
+			t.Fatalf("triangle %d differs", i)
+		}
+	}
+}
+
+func TestReadASCIIErrors(t *testing.T) {
+	cases := []struct {
+		name, data string
+	}{
+		{"empty", ""},
+		{"bad dimension", "1 3 0 0\n0 1 2 3\n"},
+		{"node index out of range", "1 2 0 0\n5 1 2\n"},
+		{"truncated nodes", "2 2 0 0\n0 1 2\n"},
+		{"bad element corner count", "1 2 0 0\n0 1 2\n1 4 0\n0 0 0 0 0\n"},
+		{"element references missing node", "1 2 0 0\n0 1 2\n1 3 0\n0 0 1 2\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadASCII(strings.NewReader(c.data)); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestWriteVTK(t *testing.T) {
+	m := unitSquareMesh()
+	var buf bytes.Buffer
+	if err := m.WriteVTK(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"POINTS 4 double", "CELLS 2 8", "CELL_TYPES 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VTK output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "CELL_DATA") {
+		t.Error("no cell data requested, none must be written")
+	}
+	// With cell data.
+	buf.Reset()
+	if err := m.WriteVTK(&buf, []float64{1.5, 2.5}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "CELL_DATA 2") {
+		t.Error("cell data section missing")
+	}
+	// Mismatched cell data length.
+	if err := m.WriteVTK(&buf, []float64{1}); err == nil {
+		t.Error("mismatched cell data must fail")
+	}
+}

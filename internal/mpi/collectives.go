@@ -1,0 +1,73 @@
+package mpi
+
+// Additional collectives beyond the paper's minimum (Gather/Bcast), shaped
+// like their MPI counterparts: Reduce, Allreduce and Scatter over float64
+// vectors. The pipeline's statistics aggregation and the examples use
+// them; they also round out the runtime for downstream users porting MPI
+// code.
+
+// Op is a reduction operator over float64.
+type Op func(a, b float64) float64
+
+// Common reduction operators.
+var (
+	OpSum Op = func(a, b float64) float64 { return a + b }
+	OpMax Op = func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	OpMin Op = func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+)
+
+// Reduce combines equal-length vectors element-wise at the root
+// (MPI_Reduce). Non-root ranks return nil.
+func (c *Comm) Reduce(root, tag int, data []float64, op Op) []float64 {
+	if c.rank != root {
+		c.Send(root, tag, EncodeFloats(data))
+		return nil
+	}
+	acc := append([]float64{}, data...)
+	for i := 0; i < c.world.n-1; i++ {
+		d, _, _ := c.Recv(AnySource, tag)
+		v := DecodeFloats(d)
+		for k := range acc {
+			if k < len(v) {
+				acc[k] = op(acc[k], v[k])
+			}
+		}
+	}
+	return acc
+}
+
+// Allreduce is Reduce followed by a broadcast of the result; every rank
+// returns the combined vector (MPI_Allreduce).
+func (c *Comm) Allreduce(tag int, data []float64, op Op) []float64 {
+	res := c.Reduce(0, tag, data, op)
+	if c.rank == 0 {
+		return DecodeFloats(c.Bcast(0, tag+1, EncodeFloats(res)))
+	}
+	return DecodeFloats(c.Bcast(0, tag+1, nil))
+}
+
+// Scatter distributes one payload per rank from the root (MPI_Scatterv);
+// every rank returns its chunk. chunks is only read on the root and must
+// have Size() entries.
+func (c *Comm) Scatter(root, tag int, chunks [][]byte) []byte {
+	if c.rank == root {
+		for r := 0; r < c.world.n; r++ {
+			if r != root {
+				c.Send(r, tag, chunks[r])
+			}
+		}
+		return chunks[root]
+	}
+	d, _, _ := c.Recv(root, tag)
+	return d
+}

@@ -1,0 +1,164 @@
+package mpi
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestReduceSum(t *testing.T) {
+	err := Run(6, func(c *Comm) {
+		data := []float64{float64(c.Rank()), 1}
+		got := c.Reduce(2, 40, data, OpSum)
+		if c.Rank() != 2 {
+			if got != nil {
+				panic("non-root must return nil")
+			}
+			return
+		}
+		// Sum of ranks 0..5 = 15; count = 6.
+		if got[0] != 15 || got[1] != 6 {
+			panic("reduce sum mismatch")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceMaxMin(t *testing.T) {
+	err := Run(5, func(c *Comm) {
+		v := []float64{float64(c.Rank()*c.Rank() - 3)}
+		mx := c.Reduce(0, 41, v, OpMax)
+		if c.Rank() == 0 && mx[0] != 13 {
+			panic("max mismatch")
+		}
+		c.Barrier()
+		mn := c.Reduce(0, 42, v, OpMin)
+		if c.Rank() == 0 && mn[0] != -3 {
+			panic("min mismatch")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	err := Run(8, func(c *Comm) {
+		got := c.Allreduce(50, []float64{1, float64(c.Rank())}, OpSum)
+		if got[0] != 8 {
+			panic("allreduce count mismatch")
+		}
+		if got[1] != 28 { // 0+1+...+7
+			panic("allreduce sum mismatch")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatter(t *testing.T) {
+	err := Run(4, func(c *Comm) {
+		var chunks [][]byte
+		if c.Rank() == 1 {
+			for r := 0; r < 4; r++ {
+				chunks = append(chunks, []byte{byte(r * 10)})
+			}
+		}
+		got := c.Scatter(1, 60, chunks)
+		if len(got) != 1 || got[0] != byte(c.Rank()*10) {
+			panic("scatter chunk mismatch")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Allreduce(sum) equals the same computation done serially, for
+// random per-rank vectors.
+func TestAllreduceProperty(t *testing.T) {
+	f := func(raw [4][3]float64) bool {
+		// Clamp: float addition is order-sensitive and Reduce combines in
+		// arrival order, so compare with a relative tolerance on bounded
+		// inputs.
+		var vals [4][3]float64
+		for r := range raw {
+			for k := range raw[r] {
+				vals[r][k] = math.Mod(raw[r][k], 1e6)
+				if math.IsNaN(vals[r][k]) {
+					vals[r][k] = 0
+				}
+			}
+		}
+		var want [3]float64
+		for r := 0; r < 4; r++ {
+			for k := 0; k < 3; k++ {
+				want[k] += vals[r][k]
+			}
+		}
+		var bad atomic.Bool
+		err := Run(4, func(c *Comm) {
+			got := c.Allreduce(70, vals[c.Rank()][:], OpSum)
+			for k := 0; k < 3; k++ {
+				if math.Abs(got[k]-want[k]) > 1e-6 {
+					bad.Store(true)
+				}
+			}
+		})
+		return err == nil && !bad.Load()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the mailbox preserves per-sender FIFO order under a same-tag
+// stream (the MPI ordering guarantee).
+func TestMailboxFIFOProperty(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw)%50 + 2
+		var bad atomic.Bool
+		err := Run(2, func(c *Comm) {
+			if c.Rank() == 0 {
+				for i := 0; i < n; i++ {
+					c.Send(1, 9, []byte{byte(i)})
+				}
+				return
+			}
+			for i := 0; i < n; i++ {
+				d, _, _ := c.Recv(0, 9)
+				if int(d[0]) != i {
+					bad.Store(true)
+				}
+			}
+		})
+		return err == nil && !bad.Load()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the per-tag queue keeps working across head compaction.
+func TestMsgQueueCompaction(t *testing.T) {
+	q := &msgQueue{}
+	for i := 0; i < 1000; i++ {
+		q.push(message{from: i})
+	}
+	for i := 0; i < 1000; i++ {
+		if q.empty() {
+			t.Fatal("queue empty early")
+		}
+		m := q.removeAt(q.head)
+		if m.from != i {
+			t.Fatalf("pop %d returned %d", i, m.from)
+		}
+	}
+	if !q.empty() {
+		t.Fatal("queue must be empty")
+	}
+}

@@ -1,0 +1,388 @@
+// Package mpi is an in-process message-passing runtime with the shape of
+// the MPI subset the paper uses: ranks with point-to-point Send/Recv,
+// barriers, gather, and one-sided remote-memory-access windows (MPI_Put /
+// MPI_Get on an MPI_Win) for the load-balancing work-estimate table. Ranks
+// run as goroutines in one address space; semantics (rank addressing, tag
+// matching, window atomicity) match the distributed original, so the
+// meshing and load-balancing code is written exactly as it would be
+// against real MPI. Message and byte counters feed the performance model
+// that stands in for the paper's Infiniband cluster.
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// AnySource matches messages from any rank.
+const AnySource = -1
+
+// AnyTag matches any message tag.
+const AnyTag = -1
+
+// Stats counts traffic for the performance model.
+type Stats struct {
+	Messages atomic.Int64
+	Bytes    atomic.Int64
+	Puts     atomic.Int64
+	Gets     atomic.Int64
+}
+
+type message struct {
+	from, tag int
+	data      []byte
+}
+
+// msgQueue is a FIFO with an amortized-O(1) head pop: consumed entries
+// advance head and the slice is compacted once half-empty, so draining
+// thousands of queued messages does not degrade to quadratic copying.
+type msgQueue struct {
+	msgs []message
+	head int
+}
+
+func (q *msgQueue) empty() bool { return q.head >= len(q.msgs) }
+
+func (q *msgQueue) push(m message) { q.msgs = append(q.msgs, m) }
+
+// removeAt deletes the element at absolute index i (>= head).
+func (q *msgQueue) removeAt(i int) message {
+	m := q.msgs[i]
+	if i == q.head {
+		q.msgs[i] = message{}
+		q.head++
+		if q.head > len(q.msgs)/2 && q.head > 32 {
+			q.msgs = append(q.msgs[:0], q.msgs[q.head:]...)
+			q.head = 0
+		}
+		return m
+	}
+	q.msgs = append(q.msgs[:i], q.msgs[i+1:]...)
+	return m
+}
+
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	tags   map[int]*msgQueue // per-tag FIFOs preserve per-source ordering
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{tags: make(map[int]*msgQueue)}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+// match finds the first message matching (from, tag) and removes it.
+func (mb *mailbox) match(from, tag int) (message, bool) {
+	scan := func(q *msgQueue) (message, bool) {
+		for i := q.head; i < len(q.msgs); i++ {
+			if from == AnySource || q.msgs[i].from == from {
+				return q.removeAt(i), true
+			}
+		}
+		return message{}, false
+	}
+	if tag != AnyTag {
+		if q, ok := mb.tags[tag]; ok {
+			return scan(q)
+		}
+		return message{}, false
+	}
+	for _, q := range mb.tags {
+		if m, ok := scan(q); ok {
+			return m, true
+		}
+	}
+	return message{}, false
+}
+
+// World is a communicator spanning n ranks.
+type World struct {
+	n       int
+	boxes   []*mailbox
+	stats   *Stats
+	barrier *barrier
+	windows struct {
+		mu   sync.Mutex
+		list []*Window
+	}
+}
+
+// NewWorld creates a communicator with n ranks.
+func NewWorld(n int) *World {
+	if n < 1 {
+		n = 1
+	}
+	w := &World{n: n, stats: &Stats{}, barrier: newBarrier(n)}
+	w.boxes = make([]*mailbox, n)
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w
+}
+
+// Stats returns the world's traffic counters.
+func (w *World) Stats() *Stats { return w.stats }
+
+// Run spawns fn on every rank and waits for all to finish. A panic in any
+// rank is captured and returned as an error after the others complete.
+func (w *World) Run(fn func(c *Comm)) error {
+	var wg sync.WaitGroup
+	errs := make([]error, w.n)
+	for r := 0; r < w.n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+					// Unblock anyone waiting on this rank.
+					for _, mb := range w.boxes {
+						mb.mu.Lock()
+						mb.closed = true
+						mb.cond.Broadcast()
+						mb.mu.Unlock()
+					}
+				}
+			}()
+			fn(&Comm{world: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// Run is shorthand for NewWorld(n).Run(fn).
+func Run(n int, fn func(c *Comm)) error {
+	return NewWorld(n).Run(fn)
+}
+
+// Comm is one rank's handle on the world.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Rank returns the caller's rank id.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.world.n }
+
+// World returns the underlying world (for stats access in drivers).
+func (c *Comm) World() *World { return c.world }
+
+// Send delivers data to rank `to` with the given tag. Like MPI's eager
+// protocol it does not block. The data slice is not copied; senders must
+// not mutate it afterwards.
+func (c *Comm) Send(to, tag int, data []byte) {
+	if to < 0 || to >= c.world.n {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d", to))
+	}
+	st := c.world.stats
+	st.Messages.Add(1)
+	st.Bytes.Add(int64(len(data)))
+	mb := c.world.boxes[to]
+	mb.mu.Lock()
+	q := mb.tags[tag]
+	if q == nil {
+		q = &msgQueue{}
+		mb.tags[tag] = q
+	}
+	q.push(message{from: c.rank, tag: tag, data: data})
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+}
+
+// Recv blocks until a message matching (from, tag) arrives and returns its
+// payload and envelope. Use AnySource and AnyTag as wildcards.
+func (c *Comm) Recv(from, tag int) (data []byte, srcRank, srcTag int) {
+	mb := c.world.boxes[c.rank]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		if m, ok := mb.match(from, tag); ok {
+			return m.data, m.from, m.tag
+		}
+		if mb.closed {
+			panic("mpi: world torn down while receiving")
+		}
+		mb.cond.Wait()
+	}
+}
+
+// TryRecv is a non-blocking probe-and-receive: ok is false when no
+// matching message is queued.
+func (c *Comm) TryRecv(from, tag int) (data []byte, srcRank, srcTag int, ok bool) {
+	mb := c.world.boxes[c.rank]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if m, ok := mb.match(from, tag); ok {
+		return m.data, m.from, m.tag, true
+	}
+	return nil, 0, 0, false
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() { c.world.barrier.await() }
+
+// Gather sends each rank's data to the root, which receives them in rank
+// order; non-root ranks return nil. This mirrors the paper's gather of
+// boundary-layer point coordinates at the root.
+func (c *Comm) Gather(root, tag int, data []byte) [][]byte {
+	if c.rank != root {
+		c.Send(root, tag, data)
+		return nil
+	}
+	out := make([][]byte, c.world.n)
+	out[root] = data
+	for i := 0; i < c.world.n-1; i++ {
+		d, src, _ := c.Recv(AnySource, tag)
+		out[src] = d
+	}
+	return out
+}
+
+// Bcast sends data from the root to every other rank; all ranks return the
+// payload.
+func (c *Comm) Bcast(root, tag int, data []byte) []byte {
+	if c.rank == root {
+		for r := 0; r < c.world.n; r++ {
+			if r != root {
+				c.Send(r, tag, data)
+			}
+		}
+		return data
+	}
+	d, _, _ := c.Recv(root, tag)
+	return d
+}
+
+// barrier is a reusable n-party barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	phase int
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	phase := b.phase
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.phase++
+		b.cond.Broadcast()
+	} else {
+		for phase == b.phase {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Window is a one-sided RMA window: an array of float64 slots hosted on a
+// root rank, accessed with Put and Get from any rank. The paper stores
+// per-process work-load estimates in such a window on the root and updates
+// them from each rank's communicator thread.
+type Window struct {
+	world *World
+	mu    sync.Mutex
+	data  []float64
+}
+
+// NewWindow allocates a window with one slot per rank, hosted conceptually
+// on the root (host placement only affects the performance model, not the
+// semantics here).
+func (w *World) NewWindow(slots int) *Window {
+	win := &Window{world: w, data: make([]float64, slots)}
+	w.windows.mu.Lock()
+	w.windows.list = append(w.windows.list, win)
+	w.windows.mu.Unlock()
+	return win
+}
+
+// Put stores val into slot idx (MPI_Put).
+func (win *Window) Put(idx int, val float64) {
+	win.world.stats.Puts.Add(1)
+	win.world.stats.Bytes.Add(8)
+	win.mu.Lock()
+	win.data[idx] = val
+	win.mu.Unlock()
+}
+
+// Get returns a snapshot of all slots (MPI_Get of the whole window).
+func (win *Window) Get() []float64 {
+	win.world.stats.Gets.Add(1)
+	win.world.stats.Bytes.Add(int64(8 * len(win.data)))
+	win.mu.Lock()
+	out := make([]float64, len(win.data))
+	copy(out, win.data)
+	win.mu.Unlock()
+	return out
+}
+
+// Add atomically accumulates into a slot (MPI_Accumulate with MPI_SUM).
+func (win *Window) Add(idx int, delta float64) {
+	win.world.stats.Puts.Add(1)
+	win.world.stats.Bytes.Add(8)
+	win.mu.Lock()
+	win.data[idx] += delta
+	win.mu.Unlock()
+}
+
+// Encoding helpers for typed payloads.
+
+// EncodeFloats packs a float64 slice little-endian.
+func EncodeFloats(v []float64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, f := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(f))
+	}
+	return out
+}
+
+// DecodeFloats unpacks a payload written by EncodeFloats.
+func DecodeFloats(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// EncodeInts packs an int32 slice little-endian.
+func EncodeInts(v []int32) []byte {
+	out := make([]byte, 4*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(out[4*i:], uint32(x))
+	}
+	return out
+}
+
+// DecodeInts unpacks a payload written by EncodeInts.
+func DecodeInts(b []byte) []int32 {
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}

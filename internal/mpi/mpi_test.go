@@ -1,0 +1,294 @@
+package mpi
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestSendRecvPair(t *testing.T) {
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []byte("hello"))
+		} else {
+			data, src, tag := c.Recv(0, 7)
+			if string(data) != "hello" || src != 0 || tag != 7 {
+				panic("bad message")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvWildcards(t *testing.T) {
+	err := Run(4, func(c *Comm) {
+		if c.Rank() == 0 {
+			seen := map[int]bool{}
+			for i := 0; i < 3; i++ {
+				data, src, _ := c.Recv(AnySource, AnyTag)
+				if len(data) != 1 || int(data[0]) != src {
+					panic("payload mismatch")
+				}
+				seen[src] = true
+			}
+			if len(seen) != 3 {
+				panic("missing senders")
+			}
+		} else {
+			c.Send(0, c.Rank(), []byte{byte(c.Rank())})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagMatching(t *testing.T) {
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []byte("one"))
+			c.Send(1, 2, []byte("two"))
+		} else {
+			// Receive out of order by tag.
+			d2, _, _ := c.Recv(0, 2)
+			d1, _, _ := c.Recv(0, 1)
+			if string(d2) != "two" || string(d1) != "one" {
+				panic("tag matching failed")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			if _, _, _, ok := c.TryRecv(AnySource, AnyTag); ok {
+				panic("TryRecv must not find anything yet")
+			}
+			c.Barrier()
+			c.Barrier()
+			data, _, _, ok := c.TryRecv(1, 5)
+			if !ok || string(data) != "x" {
+				panic("TryRecv must find the queued message")
+			}
+		} else {
+			c.Barrier()
+			c.Send(0, 5, []byte("x"))
+			c.Barrier()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	var before, after atomic.Int32
+	err := Run(8, func(c *Comm) {
+		before.Add(1)
+		c.Barrier()
+		if before.Load() != 8 {
+			panic("barrier released early")
+		}
+		after.Add(1)
+		c.Barrier()
+		if after.Load() != 8 {
+			panic("second barrier released early")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGather(t *testing.T) {
+	err := Run(5, func(c *Comm) {
+		payload := EncodeFloats([]float64{float64(c.Rank()) * 1.5})
+		got := c.Gather(2, 9, payload)
+		if c.Rank() != 2 {
+			if got != nil {
+				panic("non-root must get nil")
+			}
+			return
+		}
+		if len(got) != 5 {
+			panic("root must collect all ranks")
+		}
+		for r, d := range got {
+			v := DecodeFloats(d)
+			if len(v) != 1 || v[0] != float64(r)*1.5 {
+				panic("gather payload mismatch")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	err := Run(6, func(c *Comm) {
+		var data []byte
+		if c.Rank() == 3 {
+			data = []byte("root-data")
+		}
+		got := c.Bcast(3, 1, data)
+		if string(got) != "root-data" {
+			panic("bcast payload mismatch")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowPutGet(t *testing.T) {
+	w := NewWorld(4)
+	win := w.NewWindow(4)
+	err := w.Run(func(c *Comm) {
+		win.Put(c.Rank(), float64(c.Rank())*10)
+		c.Barrier()
+		vals := win.Get()
+		for r, v := range vals {
+			if v != float64(r)*10 {
+				panic("window value mismatch")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowAccumulate(t *testing.T) {
+	w := NewWorld(8)
+	win := w.NewWindow(1)
+	err := w.Run(func(c *Comm) {
+		for i := 0; i < 100; i++ {
+			win.Add(0, 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := win.Get()[0]; got != 800 {
+		t.Errorf("accumulate: got %v, want 800", got)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 0, make([]byte, 100))
+		} else {
+			c.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Stats().Messages.Load(); got != 1 {
+		t.Errorf("messages = %d", got)
+	}
+	if got := w.Stats().Bytes.Load(); got != 100 {
+		t.Errorf("bytes = %d", got)
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	err := Run(3, func(c *Comm) {
+		if c.Rank() == 1 {
+			panic("boom")
+		}
+	})
+	if err == nil {
+		t.Fatal("rank panic must surface as an error")
+	}
+}
+
+func TestEncodingRoundTrip(t *testing.T) {
+	f := func(v []float64) bool {
+		got := DecodeFloats(EncodeFloats(v))
+		if len(got) != len(v) {
+			return false
+		}
+		for i := range v {
+			// NaN compares unequal; compare bit patterns via re-encode.
+			a, b := EncodeFloats(v[i:i+1]), EncodeFloats(got[i:i+1])
+			for k := range a {
+				if a[k] != b[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	g := func(v []int32) bool {
+		got := DecodeInts(EncodeInts(v))
+		if len(got) != len(v) {
+			return false
+		}
+		for i := range v {
+			if got[i] != v[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestManyRanksPingPong(t *testing.T) {
+	// Ring communication across 32 ranks.
+	err := Run(32, func(c *Comm) {
+		next := (c.Rank() + 1) % c.Size()
+		prev := (c.Rank() + c.Size() - 1) % c.Size()
+		c.Send(next, 0, []byte{byte(c.Rank())})
+		data, src, _ := c.Recv(prev, 0)
+		if int(data[0]) != prev || src != prev {
+			panic("ring hop mismatch")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSendRecv(b *testing.B) {
+	w := NewWorld(2)
+	payload := make([]byte, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < b.N; i++ {
+				c.Send(1, 0, payload)
+			}
+		} else {
+			for i := 0; i < b.N; i++ {
+				c.Recv(0, 0)
+			}
+		}
+	})
+}
+
+func BenchmarkWindowPut(b *testing.B) {
+	w := NewWorld(1)
+	win := w.NewWindow(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		win.Put(i%256, float64(i))
+	}
+}

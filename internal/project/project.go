@@ -1,0 +1,385 @@
+// Package project implements the projection-based parallel Delaunay
+// decomposition of Blelloch, Miller and Talmor used by the paper to
+// triangulate the boundary layer: a subdomain of vertices is split by a
+// median line; the Delaunay edges crossing the median line (the dividing
+// path) are found as the lower convex hull of the vertices projected onto
+// a paraboloid centered at the median vertex and flattened onto the
+// vertical plane perpendicular to the cut axis (paper Figures 6 and 7).
+// Each leaf subdomain is triangulated independently by the sequential
+// kernel, and triangles are assigned to the leaf whose region contains
+// their circumcenter, which reconstitutes exactly the Delaunay
+// triangulation of the whole point set.
+//
+// The Subdomain data layout follows the paper's implementation section:
+// vertices are stored contiguously in both x-sorted and y-sorted order, so
+// the bounding box and the median are O(1) and splits are linear with a
+// comparison-free copy of the primary-sorted half.
+package project
+
+import (
+	"math"
+	"sort"
+
+	"pamg2d/internal/geom"
+	"pamg2d/internal/hull"
+)
+
+// Vertex is a point with its global id and the scratch projection
+// ordinate. The projected coordinate lives inline in the Vertex (rather
+// than in a separate array) for the cache locality the paper's
+// implementation section calls out; it is recomputed at every split
+// because it depends on the median vertex.
+type Vertex struct {
+	P    geom.Point
+	ID   int32
+	Proj float64
+}
+
+// Subdomain is a set of vertices held in two sort orders, plus the
+// axis-aligned region of the plane whose circumcenters it owns.
+type Subdomain struct {
+	// XS holds the vertices sorted lexicographically by (X, Y); YS holds
+	// the same vertices sorted by (Y, X).
+	XS, YS []Vertex
+	// Region is the rectangle of circumcenter space owned by this
+	// subdomain; triangles whose circumcenter falls here belong to it.
+	Region Rect
+	// Depth is the recursion depth at which this subdomain was created.
+	Depth int
+}
+
+// Rect is an axis-aligned, half-open region [MinX,MaxX) x [MinY,MaxY),
+// unbounded at infinities.
+type Rect struct {
+	MinX, MaxX, MinY, MaxY float64
+}
+
+// WholePlane returns the unbounded region.
+func WholePlane() Rect {
+	return Rect{math.Inf(-1), math.Inf(1), math.Inf(-1), math.Inf(1)}
+}
+
+// Contains reports whether p lies in the half-open region.
+func (r Rect) Contains(p geom.Point) bool {
+	return p.X >= r.MinX && p.X < r.MaxX && p.Y >= r.MinY && p.Y < r.MaxY
+}
+
+// New builds the root subdomain from a point set, assigning global ids in
+// input order. Duplicate points are dropped (keeping the first), since the
+// comparison-free median split requires distinct vertices.
+func New(pts []geom.Point) *Subdomain {
+	s := &Subdomain{Region: WholePlane()}
+	s.XS = make([]Vertex, len(pts))
+	for i, p := range pts {
+		s.XS[i] = Vertex{P: p, ID: int32(i)}
+	}
+	sortX(s.XS)
+	uniq := s.XS[:0]
+	for _, v := range s.XS {
+		if len(uniq) == 0 || uniq[len(uniq)-1].P != v.P {
+			uniq = append(uniq, v)
+		}
+	}
+	s.XS = uniq
+	s.YS = make([]Vertex, len(s.XS))
+	copy(s.YS, s.XS)
+	sortY(s.YS)
+	return s
+}
+
+func sortX(v []Vertex) {
+	sort.Slice(v, func(i, j int) bool { return lessX(v[i], v[j]) })
+}
+
+func sortY(v []Vertex) {
+	sort.Slice(v, func(i, j int) bool { return lessY(v[i], v[j]) })
+}
+
+func lessX(a, b Vertex) bool {
+	if a.P.X != b.P.X {
+		return a.P.X < b.P.X
+	}
+	return a.P.Y < b.P.Y
+}
+
+func lessY(a, b Vertex) bool {
+	if a.P.Y != b.P.Y {
+		return a.P.Y < b.P.Y
+	}
+	return a.P.X < b.P.X
+}
+
+// Len returns the number of vertices.
+func (s *Subdomain) Len() int { return len(s.XS) }
+
+// BBox returns the bounding box in O(1) using the first and last vertices
+// of the two sorted arrays.
+func (s *Subdomain) BBox() geom.BBox {
+	if len(s.XS) == 0 {
+		return geom.EmptyBBox()
+	}
+	return geom.BBox{
+		Min: geom.Pt(s.XS[0].P.X, s.YS[0].P.Y),
+		Max: geom.Pt(s.XS[len(s.XS)-1].P.X, s.YS[len(s.YS)-1].P.Y),
+	}
+}
+
+// CutVertical reports whether the next cut should use a vertical median
+// line (x = median): chosen when the box is wider than tall, i.e. the cut
+// axis is parallel to the shortest bounding-box edge, avoiding long skinny
+// subdomains that are expensive to triangulate.
+func (s *Subdomain) CutVertical() bool {
+	bb := s.BBox()
+	return bb.Width() >= bb.Height()
+}
+
+// PathEdge is one Delaunay edge of a dividing path.
+type PathEdge struct {
+	A, B Vertex
+}
+
+// Split divides the subdomain at the median of its longer axis. It
+// returns the two halves and the dividing path of Delaunay edges. Hull
+// (path) vertices are duplicated into both halves, as the algorithm
+// requires. Split leaves s unusable (its storage is reused by the left
+// half, another implementation note from the paper).
+func (s *Subdomain) Split() (left, right *Subdomain, path []PathEdge) {
+	return s.SplitAxis(s.CutVertical())
+}
+
+// SplitAxis is Split with an explicit cut orientation; the ablation
+// benchmarks use it to compare the paper's shortest-bbox-edge rule against
+// always-vertical cuts (Triangle-style).
+func (s *Subdomain) SplitAxis(vertical bool) (left, right *Subdomain, path []PathEdge) {
+	n := len(s.XS)
+	if n < 2 {
+		return s, nil, nil
+	}
+
+	var primary, secondary []Vertex // primary: sorted along the split axis
+	if vertical {
+		primary, secondary = s.XS, s.YS
+	} else {
+		primary, secondary = s.YS, s.XS
+	}
+	m := n / 2
+	median := primary[m]
+
+	// Project every vertex onto the paraboloid centered at the median
+	// vertex and flatten onto the plane perpendicular to the cut axis.
+	// The flattened abscissa is the coordinate along the median line; the
+	// ordinate is the lift. The secondary array is already sorted by the
+	// abscissa, so the monotone chain below runs in linear time.
+	for i := range secondary {
+		dx := secondary[i].P.X - median.P.X
+		dy := secondary[i].P.Y - median.P.Y
+		secondary[i].Proj = dx*dx + dy*dy
+	}
+	flat := make([]geom.Point, len(secondary))
+	for i, v := range secondary {
+		if vertical {
+			flat[i] = geom.Pt(v.P.Y, v.Proj)
+		} else {
+			flat[i] = geom.Pt(v.P.X, v.Proj)
+		}
+	}
+	// Ties in the abscissa must be ordered by the lift for the chain to be
+	// a valid lexicographic order; fix up runs of equal abscissa (rare).
+	fixTies(flat, secondary)
+	hullIdx := hull.LowerSorted(flat)
+
+	hullVerts := make([]Vertex, len(hullIdx))
+	for i, hi := range hullIdx {
+		hullVerts[i] = secondary[hi]
+	}
+	for i := 0; i+1 < len(hullVerts); i++ {
+		path = append(path, PathEdge{hullVerts[i], hullVerts[i+1]})
+	}
+
+	onHull := make(map[int32]bool, len(hullVerts))
+	for _, v := range hullVerts {
+		onHull[v.ID] = true
+	}
+
+	isLeft := func(v Vertex) bool {
+		if vertical {
+			return lessX(v, median)
+		}
+		return lessY(v, median)
+	}
+
+	// Partition the primary array with a comparison-free split at the
+	// median index (the paper's memcpy optimization), and the secondary
+	// array by comparing against the median vertex.
+	leftPrimary := primary[:m]
+	rightPrimary := primary[m:]
+	var leftSecondary, rightSecondary []Vertex
+	for _, v := range secondary {
+		if isLeft(v) {
+			leftSecondary = append(leftSecondary, v)
+		} else {
+			rightSecondary = append(rightSecondary, v)
+		}
+	}
+
+	// Duplicate hull vertices into the half they are missing from.
+	var addLeft, addRight []Vertex
+	for _, v := range hullVerts {
+		if isLeft(v) {
+			addRight = append(addRight, v)
+		} else {
+			addLeft = append(addLeft, v)
+		}
+	}
+
+	left = &Subdomain{Region: s.Region, Depth: s.Depth + 1}
+	right = &Subdomain{Region: s.Region, Depth: s.Depth + 1}
+	var cut float64
+	if vertical {
+		cut = median.P.X
+		left.Region.MaxX = math.Min(left.Region.MaxX, cut)
+		right.Region.MinX = math.Max(right.Region.MinX, cut)
+	} else {
+		cut = median.P.Y
+		left.Region.MaxY = math.Min(left.Region.MaxY, cut)
+		right.Region.MinY = math.Max(right.Region.MinY, cut)
+	}
+
+	if vertical {
+		left.XS = mergeSorted(leftPrimary, addLeft, lessX)
+		right.XS = mergeSorted(rightPrimary, addRight, lessX)
+		left.YS = mergeSorted(leftSecondary, addLeft, lessY)
+		right.YS = mergeSorted(rightSecondary, addRight, lessY)
+	} else {
+		left.YS = mergeSorted(leftPrimary, addLeft, lessY)
+		right.YS = mergeSorted(rightPrimary, addRight, lessY)
+		left.XS = mergeSorted(leftSecondary, addLeft, lessX)
+		right.XS = mergeSorted(rightSecondary, addRight, lessX)
+	}
+	return left, right, path
+}
+
+// fixTies restores lexicographic (abscissa, ordinate) order within runs of
+// equal abscissa, keeping the paired vertex array aligned.
+func fixTies(flat []geom.Point, verts []Vertex) {
+	i := 0
+	for i < len(flat) {
+		j := i + 1
+		for j < len(flat) && flat[j].X == flat[i].X {
+			j++
+		}
+		if j-i > 1 {
+			idx := make([]int, j-i)
+			for k := range idx {
+				idx[k] = i + k
+			}
+			sort.Slice(idx, func(a, b int) bool { return flat[idx[a]].Y < flat[idx[b]].Y })
+			tmpF := make([]geom.Point, j-i)
+			tmpV := make([]Vertex, j-i)
+			for k, id := range idx {
+				tmpF[k] = flat[id]
+				tmpV[k] = verts[id]
+			}
+			copy(flat[i:j], tmpF)
+			copy(verts[i:j], tmpV)
+		}
+		i = j
+	}
+}
+
+// mergeSorted merges a sorted base slice with a small sorted-on-demand
+// extras slice in linear time.
+func mergeSorted(base, extras []Vertex, less func(a, b Vertex) bool) []Vertex {
+	if len(extras) == 0 {
+		// Reuse the parent's storage (the paper reuses the original
+		// subdomain's allocation for the left half); the parent is dead
+		// after the split.
+		return base
+	}
+	ex := make([]Vertex, len(extras))
+	copy(ex, extras)
+	sort.Slice(ex, func(i, j int) bool { return less(ex[i], ex[j]) })
+	out := make([]Vertex, 0, len(base)+len(ex))
+	i, j := 0, 0
+	for i < len(base) && j < len(ex) {
+		if less(base[i], ex[j]) {
+			out = append(out, base[i])
+			i++
+		} else {
+			out = append(out, ex[j])
+			j++
+		}
+	}
+	out = append(out, base[i:]...)
+	out = append(out, ex[j:]...)
+	return out
+}
+
+// Points returns the subdomain's points in x-sorted order, ready for the
+// kernel's sorted fast path.
+func (s *Subdomain) Points() []geom.Point {
+	out := make([]geom.Point, len(s.XS))
+	for i, v := range s.XS {
+		out[i] = v.P
+	}
+	return out
+}
+
+// IDs returns the global vertex ids in x-sorted order, aligned with
+// Points.
+func (s *Subdomain) IDs() []int32 {
+	out := make([]int32, len(s.XS))
+	for i, v := range s.XS {
+		out[i] = v.ID
+	}
+	return out
+}
+
+// DropYSorted releases the y-sorted array once a subdomain is sufficiently
+// decomposed: only the x-sorted vertices are needed by the kernel, which
+// also halves the cost of transferring the subdomain to another process
+// (implementation note from the paper).
+func (s *Subdomain) DropYSorted() { s.YS = nil }
+
+// Options bounds the recursive decomposition.
+type Options struct {
+	// MinVerts stops splitting a subdomain smaller than this.
+	MinVerts int
+	// MaxDepth stops splitting at this recursion depth; the paper derives
+	// it from the number of processes.
+	MaxDepth int
+	// ForceVertical always cuts with a vertical median line instead of the
+	// shortest-bbox-edge rule (ablation switch).
+	ForceVertical bool
+}
+
+// Decompose recursively splits the root subdomain until every leaf is
+// sufficiently decomposed, returning the leaves and all dividing paths.
+func Decompose(root *Subdomain, opt Options) (leaves []*Subdomain, paths []PathEdge) {
+	if opt.MinVerts < 2 {
+		opt.MinVerts = 2
+	}
+	var rec func(s *Subdomain)
+	rec = func(s *Subdomain) {
+		if s.Len() < opt.MinVerts || (opt.MaxDepth > 0 && s.Depth >= opt.MaxDepth) {
+			leaves = append(leaves, s)
+			return
+		}
+		n := s.Len()
+		vertical := s.CutVertical()
+		if opt.ForceVertical {
+			vertical = true
+		}
+		l, r, p := s.SplitAxis(vertical)
+		if r == nil || l.Len() >= n || r.Len() >= n {
+			// The split made no progress (degenerate data); stop here.
+			leaves = append(leaves, s)
+			return
+		}
+		paths = append(paths, p...)
+		rec(l)
+		rec(r)
+	}
+	rec(root)
+	return leaves, paths
+}

@@ -1,0 +1,224 @@
+package pslg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"pamg2d/internal/geom"
+)
+
+// WritePoly writes the graph in Triangle's .poly format: a vertex section,
+// a segment section connecting each loop, and a hole section with one seed
+// inside each body. Mesh generators built on Triangle exchange geometry in
+// this format, so the push-button CLI reads and writes it.
+func (g *Graph) WritePoly(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	loops := make([]*Loop, 0, len(g.Surfaces)+1)
+	for i := range g.Surfaces {
+		loops = append(loops, &g.Surfaces[i])
+	}
+	if len(g.Farfield.Points) > 0 {
+		loops = append(loops, &g.Farfield)
+	}
+	total := 0
+	for _, l := range loops {
+		total += len(l.Points)
+	}
+	fmt.Fprintf(bw, "# pamg2d PSLG\n")
+	fmt.Fprintf(bw, "%d 2 0 1\n", total)
+	idx := 0
+	starts := make([]int, len(loops))
+	for li, l := range loops {
+		starts[li] = idx
+		for _, p := range l.Points {
+			// The boundary marker column carries the loop index + 1.
+			fmt.Fprintf(bw, "%d %.17g %.17g %d\n", idx, p.X, p.Y, li+1)
+			idx++
+		}
+	}
+	fmt.Fprintf(bw, "%d 1\n", total)
+	seg := 0
+	for li, l := range loops {
+		n := len(l.Points)
+		for k := 0; k < n; k++ {
+			fmt.Fprintf(bw, "%d %d %d %d\n", seg, starts[li]+k, starts[li]+(k+1)%n, li+1)
+			seg++
+		}
+	}
+	fmt.Fprintf(bw, "%d\n", len(g.Surfaces))
+	for i := range g.Surfaces {
+		h := InteriorPointOf(&g.Surfaces[i])
+		fmt.Fprintf(bw, "%d %.17g %.17g\n", i, h.X, h.Y)
+	}
+	return bw.Flush()
+}
+
+// ReadPoly reads a .poly file written by WritePoly (or a compatible subset
+// of Triangle's format: vertices and segments with boundary markers that
+// group segments into loops, where each marker's segments form one closed
+// loop). The loop with the largest bounding box becomes the far field when
+// it encloses every other loop; otherwise all loops are surfaces.
+func ReadPoly(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fields := func() ([]string, error) {
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			return strings.Fields(line), nil
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, io.ErrUnexpectedEOF
+	}
+
+	head, err := fields()
+	if err != nil {
+		return nil, fmt.Errorf("pslg: reading vertex header: %w", err)
+	}
+	var nv, dim, nattr, nmark int
+	if _, err := fmt.Sscan(strings.Join(head, " "), &nv, &dim, &nattr, &nmark); err != nil {
+		return nil, fmt.Errorf("pslg: vertex header %q: %w", head, err)
+	}
+	if dim != 2 {
+		return nil, fmt.Errorf("pslg: dimension %d not supported", dim)
+	}
+	pts := make([]geom.Point, nv)
+	ids := make(map[int]int, nv)
+	for i := 0; i < nv; i++ {
+		f, err := fields()
+		if err != nil {
+			return nil, fmt.Errorf("pslg: reading vertex %d: %w", i, err)
+		}
+		if len(f) < 3 {
+			return nil, fmt.Errorf("pslg: vertex line %q too short", f)
+		}
+		var id int
+		var x, y float64
+		if _, err := fmt.Sscan(f[0], &id); err != nil {
+			return nil, err
+		}
+		if _, err := fmt.Sscan(f[1], &x); err != nil {
+			return nil, err
+		}
+		if _, err := fmt.Sscan(f[2], &y); err != nil {
+			return nil, err
+		}
+		ids[id] = i
+		pts[i] = geom.Pt(x, y)
+	}
+
+	head, err = fields()
+	if err != nil {
+		return nil, fmt.Errorf("pslg: reading segment header: %w", err)
+	}
+	var ns, smark int
+	if _, err := fmt.Sscan(strings.Join(head, " "), &ns, &smark); err != nil {
+		return nil, fmt.Errorf("pslg: segment header %q: %w", head, err)
+	}
+	// Chain segments grouped by marker into loops.
+	type seg struct{ a, b int }
+	byMarker := map[int][]seg{}
+	for i := 0; i < ns; i++ {
+		f, err := fields()
+		if err != nil {
+			return nil, fmt.Errorf("pslg: reading segment %d: %w", i, err)
+		}
+		if len(f) < 3 {
+			return nil, fmt.Errorf("pslg: segment line %q too short", f)
+		}
+		var id, a, b, marker int
+		fmt.Sscan(f[0], &id)
+		if _, err := fmt.Sscan(f[1], &a); err != nil {
+			return nil, err
+		}
+		if _, err := fmt.Sscan(f[2], &b); err != nil {
+			return nil, err
+		}
+		if len(f) > 3 {
+			fmt.Sscan(f[3], &marker)
+		}
+		ai, ok := ids[a]
+		if !ok {
+			return nil, fmt.Errorf("pslg: segment %d references unknown vertex %d", i, a)
+		}
+		bi, ok := ids[b]
+		if !ok {
+			return nil, fmt.Errorf("pslg: segment %d references unknown vertex %d", i, b)
+		}
+		byMarker[marker] = append(byMarker[marker], seg{ai, bi})
+	}
+
+	var loops []Loop
+	for marker, segs := range byMarker {
+		next := make(map[int]int, len(segs))
+		for _, s := range segs {
+			if _, dup := next[s.a]; dup {
+				return nil, fmt.Errorf("pslg: marker %d: vertex %d starts two segments", marker, s.a)
+			}
+			next[s.a] = s.b
+		}
+		start := segs[0].a
+		var loop []geom.Point
+		v := start
+		for {
+			loop = append(loop, pts[v])
+			nv, ok := next[v]
+			if !ok {
+				return nil, fmt.Errorf("pslg: marker %d: open chain at vertex %d", marker, v)
+			}
+			v = nv
+			if v == start {
+				break
+			}
+			if len(loop) > len(segs) {
+				return nil, fmt.Errorf("pslg: marker %d: chain does not close", marker)
+			}
+		}
+		if len(loop) != len(segs) {
+			return nil, fmt.Errorf("pslg: marker %d forms %d loops; one expected", marker, 1+len(segs)-len(loop))
+		}
+		loops = append(loops, Loop{Points: loop, Name: fmt.Sprintf("loop-%d", marker)})
+	}
+	if len(loops) == 0 {
+		return nil, fmt.Errorf("pslg: no loops found")
+	}
+
+	// The enclosing loop (if any) is the far field.
+	g := &Graph{}
+	outer := -1
+	for i := range loops {
+		enclosesAll := true
+		for j := range loops {
+			if i == j {
+				continue
+			}
+			if !loops[i].Contains(loops[j].Points[0]) {
+				enclosesAll = false
+				break
+			}
+		}
+		if enclosesAll && len(loops) > 1 {
+			outer = i
+			break
+		}
+	}
+	for i := range loops {
+		l := loops[i]
+		if !l.IsCCW() {
+			l.Reverse()
+		}
+		if i == outer {
+			l.Name = "farfield"
+			g.Farfield = l
+		} else {
+			g.Surfaces = append(g.Surfaces, l)
+		}
+	}
+	return g, nil
+}

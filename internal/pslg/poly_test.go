@@ -1,0 +1,130 @@
+package pslg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pamg2d/internal/geom"
+)
+
+func TestPolyRoundTrip(t *testing.T) {
+	g := &Graph{
+		Surfaces: []Loop{
+			square(1, 1, 1, "a"),
+			square(4, 1, 1.5, "b"),
+		},
+		Farfield: square(-10, -10, 25, "farfield"),
+	}
+	var buf bytes.Buffer
+	if err := g.WritePoly(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPoly(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Surfaces) != 2 {
+		t.Fatalf("surfaces = %d, want 2", len(got.Surfaces))
+	}
+	if len(got.Farfield.Points) != 4 {
+		t.Fatalf("farfield points = %d, want 4", len(got.Farfield.Points))
+	}
+	if !got.Farfield.IsCCW() {
+		t.Error("farfield must come back CCW")
+	}
+	// Point sets must round-trip exactly (%.17g).
+	wantPts := map[geom.Point]bool{}
+	for i := range g.Surfaces {
+		for _, p := range g.Surfaces[i].Points {
+			wantPts[p] = true
+		}
+	}
+	for i := range got.Surfaces {
+		for _, p := range got.Surfaces[i].Points {
+			if !wantPts[p] {
+				t.Fatalf("unexpected surface point %v", p)
+			}
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolyRoundTripNoFarfield(t *testing.T) {
+	g := &Graph{Surfaces: []Loop{square(0, 0, 1, "only")}}
+	var buf bytes.Buffer
+	if err := g.WritePoly(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPoly(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single loop encloses nothing else, so it stays a surface.
+	if len(got.Surfaces) != 1 || len(got.Farfield.Points) != 0 {
+		t.Fatalf("surfaces=%d farfield=%d", len(got.Surfaces), len(got.Farfield.Points))
+	}
+}
+
+func TestReadPolyErrors(t *testing.T) {
+	cases := []struct{ name, data string }{
+		{"empty", ""},
+		{"bad dim", "1 3 0 0\n0 1 2\n"},
+		{"unknown vertex in segment", "2 2 0 0\n0 0 0\n1 1 0\n1 1\n0 0 5 1\n"},
+		{"open chain", "3 2 0 0\n0 0 0\n1 1 0\n2 1 1\n2 1\n0 0 1 1\n1 1 2 1\n"},
+		{"double start", "3 2 0 0\n0 0 0\n1 1 0\n2 1 1\n2 1\n0 0 1 1\n1 0 2 1\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadPoly(strings.NewReader(c.data)); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestReadPolyCWLoopNormalized(t *testing.T) {
+	// A clockwise input loop must come back CCW.
+	data := `4 2 0 0
+0 0 0
+1 0 1
+2 1 1
+3 1 0
+4 1
+0 0 1 1
+1 1 2 1
+2 2 3 1
+3 3 0 1
+`
+	g, err := ReadPoly(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Surfaces) != 1 {
+		t.Fatalf("surfaces = %d", len(g.Surfaces))
+	}
+	if !g.Surfaces[0].IsCCW() {
+		t.Error("loop must be normalized to CCW")
+	}
+}
+
+func TestReadPolyComments(t *testing.T) {
+	data := `# a comment
+3 2 0 0
+# vertices
+0 0 0
+1 1 0
+2 0 1
+3 1
+0 0 1 1
+1 1 2 1
+2 2 0 1
+`
+	g, err := ReadPoly(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Surfaces) != 1 || len(g.Surfaces[0].Points) != 3 {
+		t.Fatalf("parsed %+v", g)
+	}
+}

@@ -1,0 +1,176 @@
+package pslg
+
+import (
+	"strings"
+	"testing"
+
+	"pamg2d/internal/geom"
+)
+
+func square(x0, y0, s float64, name string) Loop {
+	return Loop{
+		Name: name,
+		Points: []geom.Point{
+			geom.Pt(x0, y0), geom.Pt(x0+s, y0), geom.Pt(x0+s, y0+s), geom.Pt(x0, y0+s),
+		},
+	}
+}
+
+func TestLoopBasics(t *testing.T) {
+	l := square(0, 0, 2, "sq")
+	if l.NumSegments() != 4 {
+		t.Errorf("segments = %d", l.NumSegments())
+	}
+	if got := l.SignedArea(); got != 4 {
+		t.Errorf("area = %v, want 4", got)
+	}
+	if !l.IsCCW() {
+		t.Error("square must be CCW")
+	}
+	l.Reverse()
+	if l.IsCCW() {
+		t.Error("reversed square must be CW")
+	}
+	if got := l.SignedArea(); got != -4 {
+		t.Errorf("reversed area = %v, want -4", got)
+	}
+}
+
+func TestLoopContains(t *testing.T) {
+	l := square(0, 0, 2, "sq")
+	cases := []struct {
+		p    geom.Point
+		want bool
+	}{
+		{geom.Pt(1, 1), true},
+		{geom.Pt(3, 1), false},
+		{geom.Pt(-1, 1), false},
+		{geom.Pt(1, 3), false},
+		{geom.Pt(1.999, 1.999), true},
+		{geom.Pt(0.001, 0.001), true},
+	}
+	for _, c := range cases {
+		if got := l.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestLoopContainsConcave(t *testing.T) {
+	// L-shaped loop.
+	l := Loop{Name: "L", Points: []geom.Point{
+		geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(4, 2), geom.Pt(2, 2), geom.Pt(2, 4), geom.Pt(0, 4),
+	}}
+	if !l.Contains(geom.Pt(1, 3)) {
+		t.Error("(1,3) is inside the L")
+	}
+	if l.Contains(geom.Pt(3, 3)) {
+		t.Error("(3,3) is in the notch, outside the L")
+	}
+	if !l.Contains(geom.Pt(3, 1)) {
+		t.Error("(3,1) is inside the L")
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	g := &Graph{
+		Surfaces: []Loop{square(1, 1, 1, "body")},
+		Farfield: square(-10, -10, 22, "farfield"),
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateTooFewPoints(t *testing.T) {
+	g := &Graph{Surfaces: []Loop{{Name: "bad", Points: []geom.Point{geom.Pt(0, 0), geom.Pt(1, 1)}}}}
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "need >= 3") {
+		t.Errorf("want too-few-points error, got %v", err)
+	}
+}
+
+func TestValidateZeroLengthSegment(t *testing.T) {
+	g := &Graph{Surfaces: []Loop{{Name: "bad", Points: []geom.Point{
+		geom.Pt(0, 0), geom.Pt(0, 0), geom.Pt(1, 1),
+	}}}}
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "zero length") {
+		t.Errorf("want zero-length error, got %v", err)
+	}
+}
+
+func TestValidateSelfIntersection(t *testing.T) {
+	// A bowtie.
+	g := &Graph{Surfaces: []Loop{{Name: "bowtie", Points: []geom.Point{
+		geom.Pt(0, 0), geom.Pt(2, 2), geom.Pt(2, 0), geom.Pt(0, 2),
+	}}}}
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "intersects") {
+		t.Errorf("want intersection error, got %v", err)
+	}
+}
+
+func TestValidateLoopLoopIntersection(t *testing.T) {
+	g := &Graph{Surfaces: []Loop{
+		square(0, 0, 2, "a"),
+		square(1, 1, 2, "b"), // overlaps a
+	}}
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "intersects") {
+		t.Errorf("want intersection error, got %v", err)
+	}
+}
+
+func TestValidateSurfaceOutsideFarfield(t *testing.T) {
+	g := &Graph{
+		Surfaces: []Loop{square(100, 100, 1, "body")},
+		Farfield: square(-10, -10, 20, "farfield"),
+	}
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "far-field") {
+		t.Errorf("want far-field error, got %v", err)
+	}
+}
+
+func TestValidateDisjointBodies(t *testing.T) {
+	g := &Graph{
+		Surfaces: []Loop{
+			square(0, 0, 1, "a"),
+			square(3, 0, 1, "b"),
+			square(0, 3, 1, "c"),
+		},
+		Farfield: square(-20, -20, 44, "farfield"),
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInteriorPointOf(t *testing.T) {
+	l := square(0, 0, 2, "sq")
+	p := InteriorPointOf(&l)
+	if !l.Contains(p) {
+		t.Errorf("interior point %v not inside the loop", p)
+	}
+	// Concave loop.
+	concave := Loop{Name: "L", Points: []geom.Point{
+		geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(4, 2), geom.Pt(2, 2), geom.Pt(2, 4), geom.Pt(0, 4),
+	}}
+	p = InteriorPointOf(&concave)
+	if !concave.Contains(p) {
+		t.Errorf("interior point %v not inside the concave loop", p)
+	}
+	// Clockwise loop must also work.
+	cw := square(0, 0, 2, "cw")
+	cw.Reverse()
+	p = InteriorPointOf(&cw)
+	if !cw.Contains(p) {
+		t.Errorf("interior point %v not inside the CW loop", p)
+	}
+}
+
+func TestNumPoints(t *testing.T) {
+	g := &Graph{
+		Surfaces: []Loop{square(0, 0, 1, "a"), square(3, 0, 1, "b")},
+		Farfield: square(-10, -10, 22, "f"),
+	}
+	if got := g.NumPoints(); got != 12 {
+		t.Errorf("NumPoints = %d, want 12", got)
+	}
+}

@@ -1,0 +1,33 @@
+package sizing_test
+
+import (
+	"fmt"
+
+	"pamg2d/internal/geom"
+	"pamg2d/internal/sizing"
+)
+
+// ExampleK shows the paper's equation (1): the decoupling edge length for
+// a target triangle area.
+func ExampleK() {
+	k := sizing.K(2.0) // target area 2
+	fmt.Printf("k = %.4f\n", k)
+	fmt.Printf("inverse: %.1f\n", sizing.AreaForEdge(k))
+	// Output:
+	// k = 0.5946
+	// inverse: 2.0
+}
+
+// ExampleNewGraded builds the distance-based gradation the inviscid region
+// uses: fine at the body, growing linearly, capped at the far field.
+func ExampleNewGraded() {
+	surface := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)}
+	g := sizing.NewGraded(surface, 0.01, 0.2, 1.0)
+	fmt.Printf("at the surface:   h = %.2f\n", g.EdgeLength(geom.Pt(0, 0)))
+	fmt.Printf("one unit away:    h = %.2f\n", g.EdgeLength(geom.Pt(0, 1)))
+	fmt.Printf("in the far field: h = %.2f (capped)\n", g.EdgeLength(geom.Pt(0, 100)))
+	// Output:
+	// at the surface:   h = 0.01
+	// one unit away:    h = 0.21
+	// in the far field: h = 1.00 (capped)
+}

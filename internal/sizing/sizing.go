@@ -1,0 +1,213 @@
+// Package sizing implements the sizing functions driving both the graded
+// Delaunay decoupling of the inviscid region and Triangle-style area
+// constraints during refinement, plus the k-formula (equation 1 of the
+// paper) that converts a target area into the decoupling edge length.
+package sizing
+
+import (
+	"math"
+
+	"pamg2d/internal/geom"
+)
+
+// Func returns the target triangle area near a point. Implementations must
+// be safe for concurrent use: every rank evaluates the sizing function
+// independently during decoupling and refinement.
+type Func func(geom.Point) float64
+
+// K converts a target triangle area A into the decoupling edge length of
+// equation (1): k = sqrt(A / sqrt(2)) / 2, derived from the termination
+// bounds of Ruppert's Delaunay refinement so that independently refined
+// subdomains stay globally Delaunay across the shared border.
+func K(area float64) float64 {
+	return 0.5 * math.Sqrt(area/math.Sqrt2)
+}
+
+// AreaForEdge is the inverse of K: the triangle area whose decoupling edge
+// length is k.
+func AreaForEdge(k float64) float64 {
+	return 4 * k * k * math.Sqrt2
+}
+
+// Graded builds the paper's distance-based gradation: triangles have edge
+// length H0 near the body surface, growing linearly with distance d at
+// rate Gradation until capped at HMax near the far field. The target area
+// is that of an equilateral triangle with the local edge length:
+// sqrt(3)/4 * h^2.
+type Graded struct {
+	// Surface points used for the distance query.
+	surface []geom.Point
+	// grid buckets surface point indices in a dense row-major array of
+	// (kmax-kmin+1) cells per dimension; a dense layout beats a map by a
+	// large factor since Distance dominates decoupling and refinement.
+	grid       [][]int32
+	kmin, kmax [2]int
+	nx, ny     int
+	cell       float64
+	H0         float64
+	Gradation  float64
+	HMax       float64
+}
+
+// NewGraded builds a graded sizing function from the body surface points.
+// h0 is the surface edge length, gradation the growth per unit distance
+// (0.2 means edges grow by 20% of the distance from the body), hmax the
+// far-field cap.
+func NewGraded(surface []geom.Point, h0, gradation, hmax float64) *Graded {
+	g := &Graded{surface: surface, H0: h0, Gradation: gradation, HMax: hmax}
+	bb := geom.BBoxOf(surface)
+	g.cell = math.Max(bb.Width(), bb.Height()) / 64
+	if g.cell <= 0 || math.IsInf(g.cell, 0) {
+		g.cell = 1
+	}
+	g.kmin = [2]int{math.MaxInt32, math.MaxInt32}
+	g.kmax = [2]int{math.MinInt32, math.MinInt32}
+	keys := make([][2]int, len(surface))
+	for i, p := range surface {
+		key := g.key(p)
+		keys[i] = key
+		for d := 0; d < 2; d++ {
+			if key[d] < g.kmin[d] {
+				g.kmin[d] = key[d]
+			}
+			if key[d] > g.kmax[d] {
+				g.kmax[d] = key[d]
+			}
+		}
+	}
+	if len(surface) == 0 {
+		g.kmin = [2]int{0, 0}
+		g.kmax = [2]int{0, 0}
+	}
+	g.nx = g.kmax[0] - g.kmin[0] + 1
+	g.ny = g.kmax[1] - g.kmin[1] + 1
+	g.grid = make([][]int32, g.nx*g.ny)
+	for i, key := range keys {
+		idx := (key[1]-g.kmin[1])*g.nx + (key[0] - g.kmin[0])
+		g.grid[idx] = append(g.grid[idx], int32(i))
+	}
+	return g
+}
+
+func (g *Graded) key(p geom.Point) [2]int {
+	return [2]int{int(math.Floor(p.X / g.cell)), int(math.Floor(p.Y / g.cell))}
+}
+
+// Distance returns the exact distance from p to the nearest surface point.
+// The search expands Chebyshev rings of grid cells around p, skipping cells
+// outside the populated grid range, and stops once no unscanned cell can
+// hold a closer point.
+func (g *Graded) Distance(p geom.Point) float64 {
+	if len(g.surface) == 0 {
+		return 0
+	}
+	kc := g.key(p)
+	// The first ring that can contain populated cells.
+	startRing := 0
+	for d := 0; d < 2; d++ {
+		if kc[d] < g.kmin[d] {
+			if r := g.kmin[d] - kc[d]; r > startRing {
+				startRing = r
+			}
+		}
+		if kc[d] > g.kmax[d] {
+			if r := kc[d] - g.kmax[d]; r > startRing {
+				startRing = r
+			}
+		}
+	}
+	// The ring beyond which every populated cell has been scanned.
+	lastRing := 0
+	for d := 0; d < 2; d++ {
+		if r := kc[d] - g.kmin[d]; r > lastRing {
+			lastRing = r
+		}
+		if r := g.kmax[d] - kc[d]; r > lastRing {
+			lastRing = r
+		}
+	}
+	bestSq := math.Inf(1)
+	// Far from the populated grid, the ring march would sweep hundreds of
+	// mostly-empty shells before its lower bound catches up; a single pass
+	// over all surface points is cheaper and exact.
+	if startRing >= g.nx+g.ny {
+		for _, q := range g.surface {
+			dx := p.X - q.X
+			dy := p.Y - q.Y
+			if d := dx*dx + dy*dy; d < bestSq {
+				bestSq = d
+			}
+		}
+		return math.Sqrt(bestSq)
+	}
+	scan := func(cx, cy int) {
+		if cx < g.kmin[0] || cx > g.kmax[0] || cy < g.kmin[1] || cy > g.kmax[1] {
+			return
+		}
+		for _, idx := range g.grid[(cy-g.kmin[1])*g.nx+(cx-g.kmin[0])] {
+			q := g.surface[idx]
+			dx := p.X - q.X
+			dy := p.Y - q.Y
+			if d := dx*dx + dy*dy; d < bestSq {
+				bestSq = d
+			}
+		}
+	}
+	for ring := startRing; ring <= lastRing; ring++ {
+		if ring == 0 {
+			scan(kc[0], kc[1])
+		} else {
+			// Clamp the shell loops to the populated cell range so far-away
+			// query points do not pay for empty shell cells.
+			x0, x1 := kc[0]-ring, kc[0]+ring
+			if lo := g.kmin[0]; x0 < lo {
+				x0 = lo
+			}
+			if hi := g.kmax[0]; x1 > hi {
+				x1 = hi
+			}
+			for dx := x0; dx <= x1; dx++ {
+				scan(dx, kc[1]-ring)
+				scan(dx, kc[1]+ring)
+			}
+			y0, y1 := kc[1]-ring+1, kc[1]+ring-1
+			if lo := g.kmin[1]; y0 < lo {
+				y0 = lo
+			}
+			if hi := g.kmax[1]; y1 > hi {
+				y1 = hi
+			}
+			for dy := y0; dy <= y1; dy++ {
+				scan(kc[0]-ring, dy)
+				scan(kc[0]+ring, dy)
+			}
+		}
+		// Any point in an unscanned cell (Chebyshev cell distance >= ring+1)
+		// is at least ring*cell away from p.
+		if r := float64(ring) * g.cell; bestSq <= r*r {
+			return math.Sqrt(bestSq)
+		}
+	}
+	return math.Sqrt(bestSq)
+}
+
+// EdgeLength returns the target edge length at p.
+func (g *Graded) EdgeLength(p geom.Point) float64 {
+	h := g.H0 + g.Gradation*g.Distance(p)
+	if g.HMax > 0 && h > g.HMax {
+		h = g.HMax
+	}
+	return h
+}
+
+// Area returns the target triangle area at p (equilateral with the local
+// edge length). It satisfies the sizing.Func contract.
+func (g *Graded) Area(p geom.Point) float64 {
+	h := g.EdgeLength(p)
+	return math.Sqrt(3) / 4 * h * h
+}
+
+// Uniform returns a sizing function with a constant target area.
+func Uniform(area float64) Func {
+	return func(geom.Point) float64 { return area }
+}

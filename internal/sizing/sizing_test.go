@@ -1,0 +1,142 @@
+package sizing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pamg2d/internal/geom"
+)
+
+func TestKFormula(t *testing.T) {
+	// Equation (1): k = 0.5*sqrt(A/sqrt(2)).
+	for _, area := range []float64{0.01, 1, 100} {
+		k := K(area)
+		want := 0.5 * math.Sqrt(area/math.Sqrt2)
+		if math.Abs(k-want) > 1e-15 {
+			t.Errorf("K(%v) = %v, want %v", area, k, want)
+		}
+	}
+}
+
+func TestKInverse(t *testing.T) {
+	f := func(aRaw uint32) bool {
+		a := 1e-6 + float64(aRaw)/1e3
+		return math.Abs(AreaForEdge(K(a))-a) < 1e-9*a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func circleSurface(n int, r float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		th := 2 * math.Pi * float64(i) / float64(n)
+		pts[i] = geom.Pt(r*math.Cos(th), r*math.Sin(th))
+	}
+	return pts
+}
+
+func TestGradedDistance(t *testing.T) {
+	surf := circleSurface(256, 1)
+	g := NewGraded(surf, 0.01, 0.2, 1.0)
+	cases := []struct {
+		p    geom.Point
+		want float64
+		tol  float64
+	}{
+		{geom.Pt(2, 0), 1, 0.01},
+		{geom.Pt(0, 3), 2, 0.01},
+		{geom.Pt(1, 0), 0, 0.01},
+		{geom.Pt(10, 0), 9, 0.05},
+		{geom.Pt(-7, -7), math.Hypot(7, 7) - 1, 0.05},
+	}
+	for _, c := range cases {
+		if got := g.Distance(c.p); math.Abs(got-c.want) > c.tol {
+			t.Errorf("Distance(%v) = %v, want %v +- %v", c.p, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestGradedDistanceMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	surf := make([]geom.Point, 300)
+	for i := range surf {
+		surf[i] = geom.Pt(rng.Float64()*4-2, rng.Float64()*2-1)
+	}
+	g := NewGraded(surf, 0.01, 0.2, 1.0)
+	for trial := 0; trial < 300; trial++ {
+		p := geom.Pt(rng.Float64()*40-20, rng.Float64()*40-20)
+		want := math.Inf(1)
+		for _, s := range surf {
+			if d := p.Dist(s); d < want {
+				want = d
+			}
+		}
+		got := g.Distance(p)
+		if math.Abs(got-want) > 1e-9*(want+1) {
+			t.Fatalf("Distance(%v) = %v, brute force %v", p, got, want)
+		}
+	}
+}
+
+func TestGradedEdgeLengthGrowth(t *testing.T) {
+	surf := circleSurface(128, 1)
+	g := NewGraded(surf, 0.01, 0.2, 0.5)
+	// On the surface: h0.
+	if got := g.EdgeLength(geom.Pt(1, 0)); math.Abs(got-0.01) > 1e-3 {
+		t.Errorf("surface edge length = %v, want ~0.01", got)
+	}
+	// One unit away: h0 + 0.2.
+	if got := g.EdgeLength(geom.Pt(2, 0)); math.Abs(got-0.21) > 1e-2 {
+		t.Errorf("d=1 edge length = %v, want ~0.21", got)
+	}
+	// Far away: capped at hmax.
+	if got := g.EdgeLength(geom.Pt(100, 0)); got != 0.5 {
+		t.Errorf("far edge length = %v, want 0.5 (capped)", got)
+	}
+	// Monotone non-decreasing along a ray.
+	prev := 0.0
+	for d := 1.0; d < 50; d += 0.5 {
+		h := g.EdgeLength(geom.Pt(d, 0))
+		if h < prev {
+			t.Fatalf("edge length decreased at d=%v: %v < %v", d, h, prev)
+		}
+		prev = h
+	}
+}
+
+func TestGradedArea(t *testing.T) {
+	surf := circleSurface(128, 1)
+	g := NewGraded(surf, 0.1, 0.2, 1.0)
+	p := geom.Pt(1.5, 0)
+	h := g.EdgeLength(p)
+	want := math.Sqrt(3) / 4 * h * h
+	if got := g.Area(p); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Area = %v, want %v", got, want)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	f := Uniform(2.5)
+	if f(geom.Pt(0, 0)) != 2.5 || f(geom.Pt(100, -3)) != 2.5 {
+		t.Error("uniform sizing must be constant")
+	}
+}
+
+func BenchmarkGradedDistance(b *testing.B) {
+	surf := circleSurface(2048, 1)
+	g := NewGraded(surf, 0.01, 0.2, 1.0)
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]geom.Point, 1024)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*60-30, rng.Float64()*60-30)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Distance(pts[i%len(pts)])
+	}
+}

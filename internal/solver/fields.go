@@ -1,0 +1,128 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pamg2d/internal/geom"
+	"pamg2d/internal/mesh"
+)
+
+// Derived fields for the Figure 14/15 proxies: the paper shows FUN3D
+// pressure and Mach plots and discusses the stagnation points on each
+// element. From the scalar solution u this file reconstructs cell
+// gradients (Green-Gauss) and derives the analog quantities: treating u
+// as a potential, the velocity proxy is -grad(u), the "Mach" proxy its
+// magnitude, and the "pressure" proxy 1 - |v|^2 (incompressible Bernoulli
+// with unit far-field speed). Stagnation points are the near-body cells
+// where the speed proxy is smallest.
+
+// Gradients reconstructs the cell-centered gradient of u with the
+// Green-Gauss theorem: grad u ~ (1/A) * sum over faces of u_face * n * len,
+// with u_face interpolated between the two adjacent cells weighted by the
+// inverse distance of their centroids to the face midpoint (the cell value
+// itself at boundaries).
+func Gradients(m *mesh.Mesh, u []float64) ([]geom.Vec, error) {
+	n := len(m.Triangles)
+	if len(u) != n {
+		return nil, fmt.Errorf("solver: %d values for %d cells", len(u), n)
+	}
+	adj := m.Adjacency()
+	centroids := make([]geom.Point, n)
+	for i, t := range m.Triangles {
+		a, b, c := m.Points[t[0]], m.Points[t[1]], m.Points[t[2]]
+		centroids[i] = geom.Pt((a.X+b.X+c.X)/3, (a.Y+b.Y+c.Y)/3)
+	}
+	grads := make([]geom.Vec, n)
+	for i, t := range m.Triangles {
+		a, b, c := m.Points[t[0]], m.Points[t[1]], m.Points[t[2]]
+		area := math.Abs(geom.TriangleArea(a, b, c))
+		if area == 0 {
+			continue
+		}
+		var g geom.Vec
+		for e := 0; e < 3; e++ {
+			va, vb := t[e], t[(e+1)%3]
+			pa, pb := m.Points[va], m.Points[vb]
+			elen := pa.Dist(pb)
+			normal := pb.Sub(pa).Perp().Neg().Unit() // outward for CCW
+			mid := pa.Mid(pb)
+			uf := u[i]
+			if nb := adj[i][e]; nb >= 0 {
+				di := centroids[i].Dist(mid)
+				dn := centroids[nb].Dist(mid)
+				if di+dn > 0 {
+					w := dn / (di + dn)
+					uf = w*u[i] + (1-w)*u[nb]
+				} else {
+					uf = (u[i] + u[nb]) / 2
+				}
+			}
+			g = g.Add(normal.Scale(uf * elen))
+		}
+		grads[i] = g.Scale(1 / area)
+	}
+	return grads, nil
+}
+
+// FlowProxies are the derived per-cell fields standing in for the paper's
+// pressure and Mach plots.
+type FlowProxies struct {
+	// Speed is |grad u| per cell (the Mach-number proxy).
+	Speed []float64
+	// Pressure is 1 - Speed^2 per cell (the Bernoulli pressure proxy).
+	Pressure []float64
+}
+
+// Proxies derives the flow proxies from the scalar solution.
+func Proxies(m *mesh.Mesh, u []float64) (*FlowProxies, error) {
+	grads, err := Gradients(m, u)
+	if err != nil {
+		return nil, err
+	}
+	p := &FlowProxies{
+		Speed:    make([]float64, len(grads)),
+		Pressure: make([]float64, len(grads)),
+	}
+	for i, g := range grads {
+		s := g.Len()
+		p.Speed[i] = s
+		p.Pressure[i] = 1 - s*s
+	}
+	return p, nil
+}
+
+// Stagnation identifies the k near-body cells with the lowest speed proxy
+// — the stagnation points the paper discusses on each element's leading
+// and trailing regions. isBody classifies a point as on/near the body
+// surface; a cell qualifies when any of its vertices does.
+func Stagnation(m *mesh.Mesh, speed []float64, isBody func(geom.Point) bool, k int) ([]geom.Point, error) {
+	if len(speed) != len(m.Triangles) {
+		return nil, fmt.Errorf("solver: %d speeds for %d cells", len(speed), len(m.Triangles))
+	}
+	type cand struct {
+		c geom.Point
+		s float64
+	}
+	var cands []cand
+	for i, t := range m.Triangles {
+		a, b, c := m.Points[t[0]], m.Points[t[1]], m.Points[t[2]]
+		if !isBody(a) && !isBody(b) && !isBody(c) {
+			continue
+		}
+		cands = append(cands, cand{
+			c: geom.Pt((a.X+b.X+c.X)/3, (a.Y+b.Y+c.Y)/3),
+			s: speed[i],
+		})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].s < cands[j].s })
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]geom.Point, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].c
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"pamg2d/internal/geom"
+)
+
+func TestGradientsLinearField(t *testing.T) {
+	m := stripMesh(t, 0.01)
+	// u = 3x - 2y: gradient (3, -2) everywhere.
+	u := make([]float64, m.NumTriangles())
+	for i, tri := range m.Triangles {
+		a, b, c := m.Points[tri[0]], m.Points[tri[1]], m.Points[tri[2]]
+		u[i] = 3*(a.X+b.X+c.X)/3 - 2*(a.Y+b.Y+c.Y)/3
+	}
+	grads, err := Gradients(m, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interior cells must recover the gradient closely (boundary cells use
+	// one-sided face values and are less accurate).
+	good := 0
+	for i, tri := range m.Triangles {
+		a, b, c := m.Points[tri[0]], m.Points[tri[1]], m.Points[tri[2]]
+		cx, cy := (a.X+b.X+c.X)/3, (a.Y+b.Y+c.Y)/3
+		if cx < 0.15 || cx > 0.85 || cy < 0.15 || cy > 0.85 {
+			continue
+		}
+		if math.Abs(grads[i].X-3) < 0.5 && math.Abs(grads[i].Y+2) < 0.5 {
+			good++
+		}
+	}
+	if good < 10 {
+		t.Errorf("only %d interior cells recovered the linear gradient", good)
+	}
+}
+
+func TestGradientsSizeMismatch(t *testing.T) {
+	m := stripMesh(t, 0.05)
+	if _, err := Gradients(m, make([]float64, 1)); err == nil {
+		t.Error("size mismatch must fail")
+	}
+}
+
+func TestProxiesBernoulli(t *testing.T) {
+	m := stripMesh(t, 0.02)
+	// u = x: speed 1 everywhere, pressure 0.
+	u := make([]float64, m.NumTriangles())
+	for i, tri := range m.Triangles {
+		a, b, c := m.Points[tri[0]], m.Points[tri[1]], m.Points[tri[2]]
+		u[i] = (a.X + b.X + c.X) / 3
+	}
+	p, err := Proxies(m, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := 0
+	for i, tri := range m.Triangles {
+		a, b, c := m.Points[tri[0]], m.Points[tri[1]], m.Points[tri[2]]
+		cx, cy := (a.X+b.X+c.X)/3, (a.Y+b.Y+c.Y)/3
+		if cx > 0.3 && cx < 0.7 && cy > 0.3 && cy < 0.7 {
+			if math.Abs(p.Speed[i]-1) > 0.45 || math.Abs(p.Pressure[i]) > 1.0 {
+				t.Fatalf("cell %d: speed %v pressure %v, want ~1 and ~0", i, p.Speed[i], p.Pressure[i])
+			}
+			mid++
+		}
+	}
+	if mid == 0 {
+		t.Fatal("no interior cells sampled")
+	}
+}
+
+func TestStagnationFindsQuietCorner(t *testing.T) {
+	m := stripMesh(t, 0.01)
+	// Speed field lowest near the corner (0,0).
+	speed := make([]float64, m.NumTriangles())
+	for i, tri := range m.Triangles {
+		a, b, c := m.Points[tri[0]], m.Points[tri[1]], m.Points[tri[2]]
+		cx, cy := (a.X+b.X+c.X)/3, (a.Y+b.Y+c.Y)/3
+		speed[i] = math.Hypot(cx, cy)
+	}
+	// "Body" is the bottom edge y=0.
+	isBody := func(p geom.Point) bool { return p.Y < 1e-9 }
+	pts, err := Stagnation(m, speed, isBody, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("stagnation points = %d", len(pts))
+	}
+	// The quietest body cell must be near the origin corner.
+	if pts[0].Dist(geom.Pt(0, 0)) > 0.3 {
+		t.Errorf("first stagnation point %v not near the quiet corner", pts[0])
+	}
+	if _, err := Stagnation(m, speed[:1], isBody, 1); err == nil {
+		t.Error("size mismatch must fail")
+	}
+}

@@ -1,0 +1,201 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"pamg2d/internal/delaunay"
+	"pamg2d/internal/geom"
+	"pamg2d/internal/mesh"
+)
+
+// stripMesh triangulates the unit square [0,1]x[0,1] at the given target
+// area.
+func stripMesh(t testing.TB, maxArea float64) *mesh.Mesh {
+	t.Helper()
+	in := delaunay.Input{
+		Points:   []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 1), geom.Pt(0, 1)},
+		Segments: [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 0}},
+	}
+	res, err := delaunay.TriangulateRefined(in, delaunay.Quality{MaxRadiusEdgeRatio: math.Sqrt2, MaxArea: maxArea})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := mesh.NewBuilder()
+	for _, tri := range res.Triangles {
+		b.AddTriangle(res.Points[tri[0]], res.Points[tri[1]], res.Points[tri[2]])
+	}
+	return b.Mesh()
+}
+
+// linearBC imposes u = x on the whole boundary; the exact steady diffusion
+// solution is u = x everywhere.
+func linearBC(mid geom.Point) (float64, bool) { return mid.X, true }
+
+func TestDiffusionReproducesLinearField(t *testing.T) {
+	m := stripMesh(t, 0.01)
+	sol, err := Solve(Problem{Mesh: m, Diffusivity: 1, Boundary: linearBC},
+		Options{Tol: 1e-12, MaxIters: 100000, Method: GaussSeidel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.History.Converged {
+		t.Fatalf("did not converge in %d iterations", sol.History.Iterations)
+	}
+	// Compare cell values against the exact solution at centroids.
+	for i, tri := range m.Triangles {
+		a, b, c := m.Points[tri[0]], m.Points[tri[1]], m.Points[tri[2]]
+		x := (a.X + b.X + c.X) / 3
+		if math.Abs(sol.U[i]-x) > 0.05 {
+			t.Fatalf("cell %d: u=%v, exact=%v", i, sol.U[i], x)
+		}
+	}
+	if sol.Min < -0.01 || sol.Max > 1.01 {
+		t.Errorf("solution out of [0,1]: [%v, %v]", sol.Min, sol.Max)
+	}
+}
+
+func TestMaximumPrinciple(t *testing.T) {
+	// Dirichlet 0/1 boundary: interior values must stay within [0,1].
+	m := stripMesh(t, 0.02)
+	bc := func(mid geom.Point) (float64, bool) {
+		if mid.Y < 0.5 {
+			return 0, true
+		}
+		return 1, true
+	}
+	sol, err := Solve(Problem{Mesh: m, Diffusivity: 1, Boundary: bc}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Min < -1e-9 || sol.Max > 1+1e-9 {
+		t.Errorf("maximum principle violated: [%v, %v]", sol.Min, sol.Max)
+	}
+}
+
+func TestResidualsMonotoneDecay(t *testing.T) {
+	m := stripMesh(t, 0.02)
+	sol, err := Solve(Problem{Mesh: m, Diffusivity: 1, Boundary: linearBC},
+		Options{Tol: 1e-12, MaxIters: 50000, Method: Jacobi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := sol.History.Residuals
+	if len(rs) < 10 {
+		t.Fatal("history too short")
+	}
+	// Residuals decay overall (allow small local non-monotonicity).
+	if rs[len(rs)-1] >= rs[0] {
+		t.Errorf("no decay: first %v last %v", rs[0], rs[len(rs)-1])
+	}
+	mid := rs[len(rs)/2]
+	if mid >= rs[0] || rs[len(rs)-1] >= mid {
+		t.Errorf("decay not progressive: %v -> %v -> %v", rs[0], mid, rs[len(rs)-1])
+	}
+}
+
+func TestGaussSeidelFasterThanJacobi(t *testing.T) {
+	m := stripMesh(t, 0.02)
+	gs, err := Solve(Problem{Mesh: m, Diffusivity: 1, Boundary: linearBC},
+		Options{Tol: 1e-10, MaxIters: 100000, Method: GaussSeidel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, err := Solve(Problem{Mesh: m, Diffusivity: 1, Boundary: linearBC},
+		Options{Tol: 1e-10, MaxIters: 100000, Method: Jacobi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gs.History.Converged || !ja.History.Converged {
+		t.Fatal("both methods must converge")
+	}
+	if gs.History.Iterations >= ja.History.Iterations {
+		t.Errorf("Gauss-Seidel (%d iters) not faster than Jacobi (%d)",
+			gs.History.Iterations, ja.History.Iterations)
+	}
+}
+
+func TestCoarseConvergesFasterThanFine(t *testing.T) {
+	// The Figure 16 phenomenon at its core: the mesh with fewer elements
+	// reaches the tolerance in fewer sweeps.
+	coarse := stripMesh(t, 0.02)
+	fine := stripMesh(t, 0.002)
+	if fine.NumTriangles() < 4*coarse.NumTriangles() {
+		t.Fatalf("test setup: fine mesh only %dx larger", fine.NumTriangles()/coarse.NumTriangles())
+	}
+	opt := Options{Tol: 1e-10, MaxIters: 200000, Method: GaussSeidel}
+	sc, err := Solve(Problem{Mesh: coarse, Diffusivity: 1, Boundary: linearBC}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := Solve(Problem{Mesh: fine, Diffusivity: 1, Boundary: linearBC}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.History.Iterations >= sf.History.Iterations {
+		t.Errorf("coarse mesh took %d iterations, fine %d; want coarse < fine",
+			sc.History.Iterations, sf.History.Iterations)
+	}
+}
+
+func TestConvectionUpwindStability(t *testing.T) {
+	// Strong convection to the right with inflow 1: the solution must stay
+	// bounded in [0, 1] thanks to upwinding.
+	m := stripMesh(t, 0.01)
+	bc := func(mid geom.Point) (float64, bool) {
+		if mid.X < 1e-9 {
+			return 1, true // inflow
+		}
+		if mid.X > 1-1e-9 {
+			return 0, true // outflow value (weakly imposed by upwinding)
+		}
+		return 0, false // slip walls top/bottom
+	}
+	sol, err := Solve(Problem{Mesh: m, Diffusivity: 0.01, Velocity: geom.V(5, 0), Boundary: bc},
+		Options{Tol: 1e-10, MaxIters: 100000, Method: GaussSeidel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Min < -1e-6 || sol.Max > 1+1e-6 {
+		t.Errorf("upwind solution unbounded: [%v, %v]", sol.Min, sol.Max)
+	}
+	// Convection pushes the u=1 front to the right: cells near x=0.7 must
+	// see values well above the pure-diffusion profile (1-x would give 0.3).
+	for i, tri := range m.Triangles {
+		a, b, c := m.Points[tri[0]], m.Points[tri[1]], m.Points[tri[2]]
+		x := (a.X + b.X + c.X) / 3
+		y := (a.Y + b.Y + c.Y) / 3
+		if x > 0.6 && x < 0.8 && y > 0.3 && y < 0.7 {
+			if sol.U[i] < 0.5 {
+				t.Errorf("cell %d at (%.2f,%.2f): u=%v, convection should carry ~1 downstream", i, x, y, sol.U[i])
+			}
+			break
+		}
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	if _, err := Solve(Problem{Mesh: &mesh.Mesh{}, Diffusivity: 1}, DefaultOptions()); err == nil {
+		t.Error("empty mesh must fail")
+	}
+	m := stripMesh(t, 0.1)
+	if _, err := Solve(Problem{Mesh: m, Diffusivity: 0, Boundary: linearBC}, DefaultOptions()); err == nil {
+		t.Error("zero diffusivity must fail")
+	}
+	neumannOnly := func(geom.Point) (float64, bool) { return 0, false }
+	if _, err := Solve(Problem{Mesh: m, Diffusivity: 1, Boundary: neumannOnly}, DefaultOptions()); err == nil {
+		t.Error("all-Neumann problem must be rejected as singular")
+	}
+}
+
+func BenchmarkSolveGaussSeidel(b *testing.B) {
+	m := stripMesh(b, 0.001)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(Problem{Mesh: m, Diffusivity: 1, Boundary: linearBC},
+			Options{Tol: 1e-8, MaxIters: 100000, Method: GaussSeidel}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package solver
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pamg2d/internal/geom"
+)
+
+func TestSORBeatsGaussSeidel(t *testing.T) {
+	m := stripMesh(t, 0.005)
+	gs, err := Solve(Problem{Mesh: m, Diffusivity: 1, Boundary: linearBC},
+		Options{Tol: 1e-10, MaxIters: 200000, Method: GaussSeidel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sor, err := Solve(Problem{Mesh: m, Diffusivity: 1, Boundary: linearBC},
+		Options{Tol: 1e-10, MaxIters: 200000, Method: SOR, Omega: 1.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sor.History.Converged {
+		t.Fatal("SOR did not converge")
+	}
+	if sor.History.Iterations >= gs.History.Iterations {
+		t.Errorf("SOR(1.7) took %d iterations, Gauss-Seidel %d; over-relaxation should win on a diffusion problem",
+			sor.History.Iterations, gs.History.Iterations)
+	}
+	// Same answer.
+	for i := range sor.U {
+		if d := sor.U[i] - gs.U[i]; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("cell %d: SOR %v vs GS %v", i, sor.U[i], gs.U[i])
+		}
+	}
+}
+
+func TestSOROmegaOneEqualsGS(t *testing.T) {
+	m := stripMesh(t, 0.02)
+	gs, err := Solve(Problem{Mesh: m, Diffusivity: 1, Boundary: linearBC},
+		Options{Tol: 1e-10, MaxIters: 100000, Method: GaussSeidel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sor, err := Solve(Problem{Mesh: m, Diffusivity: 1, Boundary: linearBC},
+		Options{Tol: 1e-10, MaxIters: 100000, Method: SOR, Omega: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sor.History.Iterations != gs.History.Iterations {
+		t.Errorf("SOR(1) %d iterations != Gauss-Seidel %d", sor.History.Iterations, gs.History.Iterations)
+	}
+}
+
+func TestSORStaysBounded(t *testing.T) {
+	m := stripMesh(t, 0.02)
+	bc := func(mid geom.Point) (float64, bool) {
+		if mid.X < 0.5 {
+			return 0, true
+		}
+		return 1, true
+	}
+	sol, err := Solve(Problem{Mesh: m, Diffusivity: 1, Boundary: bc},
+		Options{Tol: 1e-10, MaxIters: 200000, Method: SOR, Omega: 1.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Min < -1e-6 || sol.Max > 1+1e-6 {
+		t.Errorf("SOR solution out of bounds: [%v, %v]", sol.Min, sol.Max)
+	}
+}
+
+func TestHistoryCSV(t *testing.T) {
+	h := History{Residuals: []float64{1, 0.1, 0.01}}
+	var buf bytes.Buffer
+	if err := h.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 || lines[0] != "iteration,residual" {
+		t.Fatalf("csv: %q", buf.String())
+	}
+	if !strings.HasPrefix(lines[3], "3,") {
+		t.Errorf("last row %q", lines[3])
+	}
+}

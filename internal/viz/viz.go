@@ -1,0 +1,187 @@
+// Package viz renders meshes, PSLGs, boundary-layer rays and subdomain
+// decompositions as standalone SVG files, so the paper's illustrative
+// figures (normals, fans, decompositions, decoupled subdomains, resolved
+// intersections) can be regenerated as images from this reproduction; see
+// cmd/figures. Pure encoding/xml-free string building on the standard
+// library.
+package viz
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+
+	"pamg2d/internal/geom"
+	"pamg2d/internal/mesh"
+)
+
+// Style controls how a shape group is drawn. Zero values fall back to
+// thin black strokes with no fill.
+type Style struct {
+	Stroke  string
+	Width   float64 // in world units; 0 picks a hairline from the canvas size
+	Fill    string
+	Opacity float64 // 0 means fully opaque
+}
+
+func (s Style) attrs(hairline float64) string {
+	stroke := s.Stroke
+	if stroke == "" {
+		stroke = "#000"
+	}
+	w := s.Width
+	if w == 0 {
+		w = hairline
+	}
+	fill := s.Fill
+	if fill == "" {
+		fill = "none"
+	}
+	a := fmt.Sprintf(`stroke=%q stroke-width="%g" fill=%q`, stroke, w, fill)
+	if s.Opacity > 0 && s.Opacity < 1 {
+		a += fmt.Sprintf(` opacity="%g"`, s.Opacity)
+	}
+	return a
+}
+
+type shape struct {
+	kind  int // 0 polyline, 1 polygon, 2 circle
+	pts   []geom.Point
+	r     float64
+	style Style
+}
+
+// Canvas accumulates shapes in world coordinates and writes them as one
+// SVG with a viewBox fitted to the content (y-axis flipped to match
+// mathematical orientation).
+type Canvas struct {
+	shapes []shape
+	bb     geom.BBox
+}
+
+// New returns an empty canvas.
+func New() *Canvas {
+	return &Canvas{bb: geom.EmptyBBox()}
+}
+
+func (c *Canvas) extend(pts []geom.Point) {
+	for _, p := range pts {
+		c.bb = c.bb.Extend(p)
+	}
+}
+
+// Polyline draws an open path through pts.
+func (c *Canvas) Polyline(pts []geom.Point, st Style) {
+	if len(pts) < 2 {
+		return
+	}
+	c.extend(pts)
+	c.shapes = append(c.shapes, shape{kind: 0, pts: pts, style: st})
+}
+
+// Segment draws one line segment.
+func (c *Canvas) Segment(s geom.Segment, st Style) {
+	c.Polyline([]geom.Point{s.A, s.B}, st)
+}
+
+// Polygon draws a closed path through pts.
+func (c *Canvas) Polygon(pts []geom.Point, st Style) {
+	if len(pts) < 3 {
+		return
+	}
+	c.extend(pts)
+	c.shapes = append(c.shapes, shape{kind: 1, pts: pts, style: st})
+}
+
+// Circle draws a circle of world radius r at p.
+func (c *Canvas) Circle(p geom.Point, r float64, st Style) {
+	c.extend([]geom.Point{geom.Pt(p.X-r, p.Y-r), geom.Pt(p.X+r, p.Y+r)})
+	c.shapes = append(c.shapes, shape{kind: 2, pts: []geom.Point{p}, r: r, style: st})
+}
+
+// Points draws a small dot at each point, sized relative to the canvas.
+func (c *Canvas) Points(pts []geom.Point, r float64, st Style) {
+	for _, p := range pts {
+		c.Circle(p, r, st)
+	}
+}
+
+// Mesh draws every triangle edge once.
+func (c *Canvas) Mesh(m *mesh.Mesh, st Style) {
+	type ek struct{ a, b int32 }
+	seen := make(map[ek]bool, 3*len(m.Triangles))
+	for _, t := range m.Triangles {
+		for e := 0; e < 3; e++ {
+			a, b := t[e], t[(e+1)%3]
+			if a > b {
+				a, b = b, a
+			}
+			if seen[ek{a, b}] {
+				continue
+			}
+			seen[ek{a, b}] = true
+			c.Polyline([]geom.Point{m.Points[a], m.Points[b]}, st)
+		}
+	}
+}
+
+// Palette returns a categorical color for index i.
+func Palette(i int) string {
+	colors := []string{
+		"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+		"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+	}
+	return colors[((i%len(colors))+len(colors))%len(colors)]
+}
+
+// WriteSVG emits the canvas as an SVG document widthPx pixels wide (height
+// follows the aspect ratio).
+func (c *Canvas) WriteSVG(w io.Writer, widthPx int) error {
+	if widthPx <= 0 {
+		widthPx = 1000
+	}
+	bb := c.bb
+	if bb.Empty() {
+		bb = geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)}
+	}
+	margin := 0.02 * (bb.Width() + bb.Height())
+	if margin == 0 {
+		margin = 1
+	}
+	bb = bb.Inflate(margin)
+	hairline := (bb.Width() + bb.Height()) / 2 / float64(widthPx) * 1.2
+	heightPx := int(float64(widthPx) * bb.Height() / math.Max(bb.Width(), 1e-300))
+	if heightPx <= 0 {
+		heightPx = widthPx
+	}
+
+	bw := bufio.NewWriterSize(w, 1<<20)
+	// Flip the y-axis: world y maps to (maxY - y) in SVG space.
+	fy := func(y float64) float64 { return bb.Max.Y - y + bb.Min.Y }
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="%g %g %g %g">`+"\n",
+		widthPx, heightPx, bb.Min.X, bb.Min.Y, bb.Width(), bb.Height())
+	for _, sh := range c.shapes {
+		switch sh.kind {
+		case 0, 1:
+			tag := "polyline"
+			if sh.kind == 1 {
+				tag = "polygon"
+			}
+			fmt.Fprintf(bw, `<%s %s points="`, tag, sh.style.attrs(hairline))
+			for i, p := range sh.pts {
+				if i > 0 {
+					fmt.Fprint(bw, " ")
+				}
+				fmt.Fprintf(bw, "%g,%g", p.X, fy(p.Y))
+			}
+			fmt.Fprintf(bw, `"/>`+"\n")
+		case 2:
+			p := sh.pts[0]
+			fmt.Fprintf(bw, `<circle %s cx="%g" cy="%g" r="%g"/>`+"\n",
+				sh.style.attrs(hairline), p.X, fy(p.Y), sh.r)
+		}
+	}
+	fmt.Fprintln(bw, "</svg>")
+	return bw.Flush()
+}

@@ -1,0 +1,102 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pamg2d/internal/geom"
+	"pamg2d/internal/mesh"
+)
+
+func TestEmptyCanvas(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().WriteSVG(&buf, 100); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Fatalf("not an svg: %q", out)
+	}
+}
+
+func TestShapesAppear(t *testing.T) {
+	c := New()
+	c.Polyline([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 1)}, Style{Stroke: "#f00"})
+	c.Polygon([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0, 1)}, Style{Fill: "#0f0"})
+	c.Circle(geom.Pt(0.5, 0.5), 0.1, Style{})
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf, 500); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<polyline", "<polygon", "<circle", "#f00", "#0f0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+}
+
+func TestYAxisFlipped(t *testing.T) {
+	// A point at the world TOP must map to a smaller SVG y than a point at
+	// the world bottom.
+	c := New()
+	c.Circle(geom.Pt(0, 10), 0.1, Style{}) // world top
+	c.Circle(geom.Pt(0, 0), 0.1, Style{})  // world bottom
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf, 100); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	top := strings.Index(out, `cy="`)
+	if top < 0 {
+		t.Fatal("no circle")
+	}
+	// First circle written is the world-top one; its cy must be near the
+	// viewBox minimum. Parse the two cy values.
+	var cys []string
+	rest := out
+	for {
+		i := strings.Index(rest, `cy="`)
+		if i < 0 {
+			break
+		}
+		rest = rest[i+4:]
+		j := strings.Index(rest, `"`)
+		cys = append(cys, rest[:j])
+	}
+	if len(cys) != 2 {
+		t.Fatalf("cys = %v", cys)
+	}
+	if !(cys[0] < cys[1]) { // string compare suffices: "0.x" < "9.x"
+		t.Errorf("world-top circle cy %s not above world-bottom cy %s", cys[0], cys[1])
+	}
+}
+
+func TestMeshEdgesDeduplicated(t *testing.T) {
+	b := mesh.NewBuilder()
+	b.AddTriangle(geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 1))
+	b.AddTriangle(geom.Pt(0, 0), geom.Pt(1, 1), geom.Pt(0, 1))
+	c := New()
+	c.Mesh(b.Mesh(), Style{})
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf, 100); err != nil {
+		t.Fatal(err)
+	}
+	// 2 triangles share one edge: 5 unique edges -> 5 polylines.
+	if got := strings.Count(buf.String(), "<polyline"); got != 5 {
+		t.Errorf("polylines = %d, want 5 (shared diagonal drawn once)", got)
+	}
+}
+
+func TestPaletteCycles(t *testing.T) {
+	if Palette(0) == Palette(1) {
+		t.Error("adjacent palette entries must differ")
+	}
+	if Palette(3) != Palette(13) {
+		t.Error("palette must cycle with period 10")
+	}
+	if Palette(-1) == "" {
+		t.Error("negative index must still return a color")
+	}
+}
