@@ -13,6 +13,7 @@ import (
 
 	"pamg2d/internal/adt"
 	"pamg2d/internal/airfoil"
+	"pamg2d/internal/benchcfg"
 	"pamg2d/internal/blayer"
 	"pamg2d/internal/core"
 	"pamg2d/internal/decouple"
@@ -27,25 +28,10 @@ import (
 )
 
 // benchConfig is the shared scaled-down configuration: NACA 0012,
-// moderately fine boundary layer, rank-2 pipeline.
+// moderately fine boundary layer, rank-2 pipeline. It lives in
+// internal/benchcfg so cmd/benchreport measures the identical workload.
 func benchConfig() core.Config {
-	cfg := core.DefaultConfig()
-	cfg.Geometry = airfoil.Single(airfoil.NACA0012, 48, 10)
-	cfg.BL = blayer.Params{
-		Growth:         growth.Geometric{H0: 1e-3, Ratio: 1.3},
-		MaxLayers:      15,
-		MaxAngleDeg:    20,
-		CuspAngleDeg:   60,
-		FanSpacingDeg:  15,
-		FanCurving:     0.5,
-		IsotropyFactor: 1.0,
-		TrimFactor:     1.0,
-	}
-	cfg.SurfaceH0 = 0.04
-	cfg.Gradation = 0.25
-	cfg.HMax = 2
-	cfg.Ranks = 2
-	return cfg
+	return benchcfg.PushButton()
 }
 
 // BenchmarkFig02SurfaceNormals measures the surface-normal computation of
@@ -122,14 +108,10 @@ func BenchmarkFig05IsotropyCutoff(b *testing.B) {
 // of a boundary-layer point set into 128 independent Delaunay subdomains
 // (Figure 8).
 func BenchmarkFig08Decompose128(b *testing.B) {
-	cfg := airfoil.Single(airfoil.NACA0012, 256, 30)
-	g, err := cfg.Graph()
+	pts, err := benchcfg.Fig08Points()
 	if err != nil {
 		b.Fatal(err)
 	}
-	p := blayer.DefaultParams()
-	layers := blayer.Generate(g, p)
-	pts := layers[0].AllPoints()
 	b.ReportMetric(float64(len(pts)), "bl-points")
 	var leaves int
 	b.ReportAllocs()
@@ -138,7 +120,7 @@ func BenchmarkFig08Decompose128(b *testing.B) {
 		b.StopTimer()
 		root := project.New(pts)
 		b.StartTimer()
-		ls, _ := project.Decompose(root, project.Options{MinVerts: 2, MaxDepth: 7})
+		ls, _ := project.Decompose(root, benchcfg.Fig08Options())
 		leaves = len(ls)
 	}
 	b.ReportMetric(float64(leaves), "subdomains")

@@ -1,0 +1,181 @@
+// Command benchreport runs the two headline benchmarks — the full
+// push-button pipeline at 1/2/4 ranks and the Figure 8 projection-based
+// decomposition — through testing.Benchmark and appends a labeled entry to
+// a BENCH_<date>.json trajectory file. Committing the file after a
+// performance change records the before/after pair next to the code that
+// caused it.
+//
+// Usage:
+//
+//	go run ./cmd/benchreport -label after-arena [-o BENCH_2026-08-05.json]
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"pamg2d/internal/benchcfg"
+	"pamg2d/internal/core"
+	"pamg2d/internal/project"
+)
+
+// benchResult is one benchmark's measured cost, the same triple `go test
+// -bench -benchmem` prints.
+type benchResult struct {
+	Iterations  int   `json:"iterations"`
+	NsPerOp     int64 `json:"ns_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// entry is one labeled measurement of the whole suite.
+type entry struct {
+	Label      string                 `json:"label"`
+	Timestamp  string                 `json:"timestamp"`
+	GoVersion  string                 `json:"go_version"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	Benchmarks map[string]benchResult `json:"benchmarks"`
+}
+
+// report is the trajectory file: entries appended in measurement order.
+type report struct {
+	Entries []entry `json:"entries"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
+	label := fs.String("label", "", "label for this entry (required; e.g. seed, after-arena)")
+	out := fs.String("o", "", "trajectory file (default BENCH_<today>.json)")
+	benchtime := fs.Duration("benchtime", time.Second, "minimum run time per benchmark")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *label == "" {
+		return errors.New("-label is required")
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_" + time.Now().Format("2006-01-02") + ".json"
+	}
+
+	e := entry{
+		Label:      *label,
+		Timestamp:  time.Now().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: map[string]benchResult{},
+	}
+
+	for _, ranks := range []int{1, 2, 4} {
+		name := fmt.Sprintf("PushButton/%d-ranks", ranks)
+		fmt.Fprintf(os.Stderr, "running %s...\n", name)
+		r, err := runPushButton(ranks, *benchtime)
+		if err != nil {
+			return err
+		}
+		e.Benchmarks[name] = r
+	}
+	fmt.Fprintln(os.Stderr, "running Fig08Decompose128...")
+	r, err := runFig08(*benchtime)
+	if err != nil {
+		return err
+	}
+	e.Benchmarks["Fig08Decompose128"] = r
+
+	rep := report{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return fmt.Errorf("parse existing %s: %w", path, err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	rep.Entries = append(rep.Entries, e)
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "appended entry %q to %s\n", *label, path)
+	for name, br := range e.Benchmarks {
+		fmt.Printf("%-24s %12d ns/op %12d B/op %8d allocs/op\n",
+			name, br.NsPerOp, br.BytesPerOp, br.AllocsPerOp)
+	}
+	return nil
+}
+
+// runPushButton measures the full pipeline at the given rank count on the
+// shared scaled-down configuration (identical to BenchmarkPushButton).
+func runPushButton(ranks int, benchtime time.Duration) (benchResult, error) {
+	cfg := benchcfg.PushButton()
+	cfg.Ranks = ranks
+	var genErr error
+	r := bench(benchtime, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Generate(cfg); err != nil {
+				genErr = err
+				b.FailNow()
+			}
+		}
+	})
+	return toResult(r), genErr
+}
+
+// runFig08 measures the projection-based decomposition of the Figure 8
+// boundary-layer point set (identical to BenchmarkFig08Decompose128; the
+// tree build is excluded from the timing there too).
+func runFig08(benchtime time.Duration) (benchResult, error) {
+	pts, err := benchcfg.Fig08Points()
+	if err != nil {
+		return benchResult{}, err
+	}
+	opt := benchcfg.Fig08Options()
+	r := bench(benchtime, func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			root := project.New(pts)
+			b.StartTimer()
+			project.Decompose(root, opt)
+		}
+	})
+	return toResult(r), nil
+}
+
+// bench runs fn under testing.Benchmark with the requested minimum run
+// time (testing.Benchmark itself honors the -test.benchtime flag, which a
+// plain binary does not define, so the duration is applied by registering
+// it explicitly).
+func bench(benchtime time.Duration, fn func(b *testing.B)) testing.BenchmarkResult {
+	if f := flag.Lookup("test.benchtime"); f == nil {
+		testing.Init()
+	}
+	flag.Set("test.benchtime", benchtime.String())
+	return testing.Benchmark(fn)
+}
+
+func toResult(r testing.BenchmarkResult) benchResult {
+	return benchResult{
+		Iterations:  r.N,
+		NsPerOp:     r.NsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"pamg2d/internal/airfoil"
 	"pamg2d/internal/core"
@@ -34,9 +36,37 @@ func run(args []string, stdout, stderr io.Writer) error {
 		format    = fs.String("format", "ascii", "output format: ascii | binary | vtk")
 		out       = fs.String("o", "", "output file (default stdout)")
 		quiet     = fs.Bool("q", false, "suppress statistics")
+		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf   = fs.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(stderr, "meshgen: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "meshgen: %v\n", err)
+			}
+		}()
 	}
 
 	cfg := core.DefaultConfig()

@@ -1,0 +1,55 @@
+// Package benchcfg holds the scaled-down benchmark configurations shared
+// between the repository benchmarks (bench_test.go) and cmd/benchreport, so
+// the committed BENCH_<date>.json trajectory measures exactly what
+// `go test -bench` measures.
+package benchcfg
+
+import (
+	"pamg2d/internal/airfoil"
+	"pamg2d/internal/blayer"
+	"pamg2d/internal/core"
+	"pamg2d/internal/geom"
+	"pamg2d/internal/growth"
+	"pamg2d/internal/project"
+)
+
+// PushButton returns the shared scaled-down pipeline configuration used by
+// BenchmarkPushButton and the other full-pipeline benchmarks: NACA 0012,
+// moderately fine boundary layer, rank-2 pipeline.
+func PushButton() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Geometry = airfoil.Single(airfoil.NACA0012, 48, 10)
+	cfg.BL = blayer.Params{
+		Growth:         growth.Geometric{H0: 1e-3, Ratio: 1.3},
+		MaxLayers:      15,
+		MaxAngleDeg:    20,
+		CuspAngleDeg:   60,
+		FanSpacingDeg:  15,
+		FanCurving:     0.5,
+		IsotropyFactor: 1.0,
+		TrimFactor:     1.0,
+	}
+	cfg.SurfaceH0 = 0.04
+	cfg.Gradation = 0.25
+	cfg.HMax = 2
+	cfg.Ranks = 2
+	return cfg
+}
+
+// Fig08Points builds the boundary-layer point set that the Figure 8
+// benchmark decomposes into independent Delaunay subdomains.
+func Fig08Points() ([]geom.Point, error) {
+	cfg := airfoil.Single(airfoil.NACA0012, 256, 30)
+	g, err := cfg.Graph()
+	if err != nil {
+		return nil, err
+	}
+	layers := blayer.Generate(g, blayer.DefaultParams())
+	return layers[0].AllPoints(), nil
+}
+
+// Fig08Options returns the decomposition options of the Figure 8 benchmark
+// (depth 7 yields up to 128 subdomains).
+func Fig08Options() project.Options {
+	return project.Options{MinVerts: 2, MaxDepth: 7}
+}

@@ -112,6 +112,20 @@ type PhaseTimes struct {
 	Total     time.Duration
 }
 
+// PhaseAllocs records the heap allocation count of each pipeline phase,
+// measured as runtime.MemStats.Mallocs deltas at the phase boundaries. The
+// counters track the allocation overhauls of the task fabric and the
+// Delaunay kernel: a regression in a phase's hot path shows up here before
+// it shows up in wall time.
+type PhaseAllocs struct {
+	Validate  uint64
+	Boundary  uint64
+	Decompose uint64
+	Parallel  uint64
+	Merge     uint64
+	Total     uint64
+}
+
 // TaskMeasure is one task's measured execution, the calibration input of
 // the strong-scaling model.
 type TaskMeasure struct {
@@ -133,6 +147,7 @@ type Stats struct {
 	Tasks            []TaskMeasure
 	LoadBalance      []loadbal.Stats
 	Times            PhaseTimes
+	Allocs           PhaseAllocs
 	Messages         int64
 	BytesOnWire      int64
 }

@@ -30,20 +30,25 @@ const (
 	kindRayBatch
 )
 
-// encodeBLLeaf serializes a projection-decomposition leaf: kind, the
-// owned circumcenter region, then the x-sorted points.
-func encodeBLLeaf(leaf *project.Subdomain) []byte {
-	vals := []float64{kindBLLeaf,
-		leaf.Region.MinX, leaf.Region.MaxX, leaf.Region.MinY, leaf.Region.MaxY}
+// blLeafVals builds a projection-decomposition leaf task: kind, the owned
+// circumcenter region, then the x-sorted points. The slice is allocated at
+// its exact final size and travels by reference through the balancer; its
+// serialized form would be mpi.EncodeFloats(vals).
+func blLeafVals(leaf *project.Subdomain) []float64 {
+	vals := make([]float64, 0, 5+2*len(leaf.XS))
+	vals = append(vals, kindBLLeaf,
+		leaf.Region.MinX, leaf.Region.MaxX, leaf.Region.MinY, leaf.Region.MaxY)
 	for _, v := range leaf.XS {
 		vals = append(vals, v.P.X, v.P.Y)
 	}
-	return mpi.EncodeFloats(vals)
+	return vals
 }
 
-// encodeBorder serializes a transition input or inviscid region border.
-func encodeRegionTask(kind int, pts []geom.Point, segs [][2]int32, holes []geom.Point) []byte {
-	vals := []float64{float64(kind), float64(len(pts)), float64(len(segs)), float64(len(holes))}
+// regionTaskVals builds a transition input or inviscid region border task
+// at its exact final size.
+func regionTaskVals(kind int, pts []geom.Point, segs [][2]int32, holes []geom.Point) []float64 {
+	vals := make([]float64, 0, 4+2*len(pts)+2*len(segs)+2*len(holes))
+	vals = append(vals, float64(kind), float64(len(pts)), float64(len(segs)), float64(len(holes)))
 	for _, p := range pts {
 		vals = append(vals, p.X, p.Y)
 	}
@@ -53,7 +58,7 @@ func encodeRegionTask(kind int, pts []geom.Point, segs [][2]int32, holes []geom.
 	for _, h := range holes {
 		vals = append(vals, h.X, h.Y)
 	}
-	return mpi.EncodeFloats(vals)
+	return vals
 }
 
 // taskCtx carries the shared read-only context every task needs.
@@ -64,27 +69,34 @@ type taskCtx struct {
 	bl     blayer.Params
 }
 
-// processTask executes a task payload and returns the produced floats:
-// triangles as 6 values each for meshing tasks, flat point coordinates for
-// ray-insertion batches.
-func processTask(payload []byte, frame geom.BBox, size sizing.Func) ([]float64, error) {
-	return processTaskCtx(payload, taskCtx{frame: frame, size: size})
+// processTask executes a task's value vector and returns the produced
+// floats: triangles as 6 values each for meshing tasks, flat point
+// coordinates for ray-insertion batches.
+func processTask(vals []float64, frame geom.BBox, size sizing.Func) ([]float64, error) {
+	return processTaskCtx(vals, taskCtx{frame: frame, size: size})
 }
 
-// processTaskCtx is processTask with the full shared context.
-func processTaskCtx(payload []byte, ctx taskCtx) ([]float64, error) {
+// processTaskCtx is processTask with the full shared context. The vals
+// slice is the task's Vals vector (or the decoded Payload for tasks that
+// arrived serialized); it is only read.
+func processTaskCtx(vals []float64, ctx taskCtx) ([]float64, error) {
 	frame := ctx.frame
 	size := ctx.size
 	kernel := ctx.kernel
-	vals := mpi.DecodeFloats(payload)
 	if len(vals) == 0 {
 		return nil, fmt.Errorf("core: empty task payload")
 	}
 	switch int(vals[0]) {
 	case kindRayBatch:
 		nRays := int(vals[1])
+		// The planned per-ray counts are in the payload, so the output size
+		// is known up front: two coordinates per planned point.
+		planned := 0
+		for i, off := 0, 2; i < nRays; i, off = i+1, off+10 {
+			planned += int(vals[off+9])
+		}
+		out := make([]float64, 0, 2*planned)
 		off := 2
-		var out []float64
 		for i := 0; i < nRays; i++ {
 			r := blayer.Ray{
 				Origin:      geom.Pt(vals[off], vals[off+1]),
@@ -115,7 +127,7 @@ func processTaskCtx(payload []byte, ctx taskCtx) ([]float64, error) {
 		if err != nil {
 			return nil, err
 		}
-		var out []float64
+		out := make([]float64, 0, 6*len(res.Triangles))
 		for _, tri := range res.Triangles {
 			a, b, c := res.Points[tri[0]], res.Points[tri[1]], res.Points[tri[2]]
 			if region.Contains(geom.Circumcenter(a, b, c)) {
@@ -129,7 +141,12 @@ func processTaskCtx(payload []byte, ctx taskCtx) ([]float64, error) {
 		ns := int(vals[2])
 		nh := int(vals[3])
 		off := 4
-		in := delaunay.Input{Frame: frame}
+		in := delaunay.Input{
+			Frame:    frame,
+			Points:   make([]geom.Point, 0, np),
+			Segments: make([][2]int32, 0, ns),
+			Holes:    make([]geom.Point, 0, nh),
+		}
 		for i := 0; i < np; i++ {
 			in.Points = append(in.Points, geom.Pt(vals[off+2*i], vals[off+2*i+1]))
 		}
@@ -172,9 +189,22 @@ func processTaskCtx(payload []byte, ctx taskCtx) ([]float64, error) {
 	}
 }
 
+// taskResult carries one task's output floats to the root by reference.
+// On a real interconnect the result would be EncodeFloats(append([ID],
+// tris...)), so its wire size is 8*(1+len(tris)) bytes.
+type taskResult struct {
+	id   int32
+	tris []float64
+}
+
+func (r *taskResult) wireBytes() int { return 8 * (1 + len(r.tris)) }
+
 // runPhase executes the given tasks under the load balancer on a fresh
 // world and returns each task's result floats (indexed by task ID) as
-// collected at the root.
+// collected at the root. Tasks and results move through the in-process
+// fabric by reference; every transfer is accounted at the size its
+// serialized form would occupy, so Stats.Messages and Stats.BytesOnWire
+// match a byte-serialized run exactly.
 func runPhase(cfg Config, tasks []loadbal.Task, ctx taskCtx, st *Stats) ([][]float64, error) {
 	world := mpi.NewWorld(cfg.Ranks)
 	win := world.NewWindow(cfg.Ranks)
@@ -196,8 +226,12 @@ func runPhase(cfg Config, tasks []loadbal.Task, ctx taskCtx, st *Stats) ([][]flo
 	opt := loadbal.DefaultOptions(totalCost(tasks), cfg.Ranks)
 	err := world.Run(func(c *mpi.Comm) {
 		bs := loadbal.Run(c, win, initial[c.Rank()], len(tasks), opt, func(task loadbal.Task) {
+			vals := task.Vals
+			if vals == nil && task.Payload != nil {
+				vals = mpi.DecodeFloats(task.Payload)
+			}
 			t0 := time.Now()
-			tris, err := processTaskCtx(task.Payload, ctx)
+			tris, err := processTaskCtx(vals, ctx)
 			dt := time.Since(t0)
 			if err != nil {
 				mu.Lock()
@@ -210,14 +244,15 @@ func runPhase(cfg Config, tasks []loadbal.Task, ctx taskCtx, st *Stats) ([][]flo
 			mu.Lock()
 			measures[task.ID] = TaskMeasure{
 				Seconds:       dt.Seconds(),
-				Bytes:         int64(len(task.Payload)),
+				Bytes:         int64(8*len(task.Vals) + len(task.Payload)),
 				BoundaryLayer: task.BoundaryLayer,
 				Triangles:     len(tris) / 6,
 			}
 			mu.Unlock()
-			// Ship the result to the root ahead of the completion message.
-			head := []float64{float64(task.ID)}
-			c.Send(0, tagResult, mpi.EncodeFloats(append(head, tris...)))
+			// Ship the result to the root ahead of the completion message,
+			// by reference but accounted at its serialized size.
+			res := &taskResult{id: task.ID, tris: tris}
+			c.SendRef(0, tagResult, res, res.wireBytes())
 		})
 		mu.Lock()
 		balStats[c.Rank()] = bs
@@ -239,12 +274,17 @@ func runPhase(cfg Config, tasks []loadbal.Task, ctx taskCtx, st *Stats) ([][]flo
 			return
 		}
 		for collected < len(tasks) {
-			data, _, _, ok := c.TryRecv(mpi.AnySource, tagResult)
+			ref, _, _, ok := c.TryRecvRef(mpi.AnySource, tagResult)
 			if !ok {
 				break
 			}
-			vals := mpi.DecodeFloats(data)
-			results[int(vals[0])] = vals[1:]
+			switch p := ref.(type) {
+			case *taskResult:
+				results[p.id] = p.tris
+			case []byte:
+				vals := mpi.DecodeFloats(p)
+				results[int(vals[0])] = vals[1:]
+			}
 			collected++
 		}
 	})
@@ -290,7 +330,8 @@ func runRayInsertionPhase(cfg Config, layers []*blayer.Layer, frame geom.BBox, s
 			if to > len(l.Rays) {
 				to = len(l.Rays)
 			}
-			vals := []float64{kindRayBatch, float64(to - from)}
+			vals := make([]float64, 0, 2+10*(to-from))
+			vals = append(vals, kindRayBatch, float64(to-from))
 			cost := 0.0
 			for i := from; i < to; i++ {
 				r := l.Rays[i]
@@ -307,7 +348,7 @@ func runRayInsertionPhase(cfg Config, layers []*blayer.Layer, frame geom.BBox, s
 				ID:            int32(len(tasks)),
 				Cost:          cost + 1,
 				BoundaryLayer: true,
-				Payload:       mpi.EncodeFloats(vals),
+				Vals:          vals,
 			})
 			refs = append(refs, batchRef{layer: li, from: from, to: to, counts: counts[from:to]})
 		}
@@ -360,7 +401,7 @@ func runBoundaryLayerPhase(cfg Config, blPoints []geom.Point, frame geom.BBox, s
 			ID:            int32(i),
 			Cost:          float64(leaf.Len()),
 			BoundaryLayer: true,
-			Payload:       encodeBLLeaf(leaf),
+			Vals:          blLeafVals(leaf),
 		}
 	}
 	results, err := runPhase(cfg, tasks, taskCtx{frame: frame}, st)
@@ -399,9 +440,9 @@ func runInviscidPhase(cfg Config, transIn delaunay.Input, nOuter int, regions []
 	}
 	for _, ti := range transInputs {
 		tasks = append(tasks, loadbal.Task{
-			ID:      int32(len(tasks)),
-			Cost:    float64(len(ti.Points)) * 4,
-			Payload: encodeRegionTask(kindTransition, ti.Points, ti.Segments, ti.Holes),
+			ID:   int32(len(tasks)),
+			Cost: float64(len(ti.Points)) * 4,
+			Vals: regionTaskVals(kindTransition, ti.Points, ti.Segments, ti.Holes),
 		})
 	}
 	nTrans := len(tasks)
@@ -412,9 +453,9 @@ func runInviscidPhase(cfg Config, transIn delaunay.Input, nOuter int, regions []
 			segs[k] = [2]int32{int32(k), int32((k + 1) % n)}
 		}
 		tasks = append(tasks, loadbal.Task{
-			ID:      int32(len(tasks)),
-			Cost:    r.Cost(size),
-			Payload: encodeRegionTask(kindInviscid, r.Border, segs, nil),
+			ID:   int32(len(tasks)),
+			Cost: r.Cost(size),
+			Vals: regionTaskVals(kindInviscid, r.Border, segs, nil),
 		})
 	}
 	results, err := runPhase(cfg, tasks, taskCtx{frame: frame, size: size, kernel: cfg.InviscidKernel}, st)

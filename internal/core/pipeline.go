@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"pamg2d/internal/blayer"
@@ -20,10 +21,19 @@ type Result struct {
 	Stats Stats
 }
 
+// mallocCount reads the cumulative heap allocation counter; deltas between
+// phase boundaries feed Stats.Allocs.
+func mallocCount() uint64 {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.Mallocs
+}
+
 // Generate runs the full push-button pipeline on cfg.Ranks simulated MPI
 // ranks and returns the merged, audited mesh.
 func Generate(cfg Config) (*Result, error) {
 	start := time.Now()
+	allocStart := mallocCount()
 	if cfg.Ranks < 1 {
 		cfg.Ranks = 1
 	}
@@ -37,12 +47,15 @@ func Generate(cfg Config) (*Result, error) {
 
 	// Phase 1: PSLG construction and validation.
 	t0 := time.Now()
+	a0 := allocStart
 	g, err := cfg.graph()
 	if err != nil {
 		return nil, err
 	}
 	res.Stats.SurfacePoints = g.NumPoints() - len(g.Farfield.Points)
 	res.Stats.Times.Validate = time.Since(t0)
+	a1 := mallocCount()
+	res.Stats.Allocs.Validate = a1 - a0
 
 	// Geometry frames are needed before the parallel phases.
 	ffBox := g.Farfield.BBox()
@@ -67,6 +80,8 @@ func Generate(cfg Config) (*Result, error) {
 	}
 	res.Stats.BoundaryLayerPts = len(blPoints)
 	res.Stats.Times.Boundary = time.Since(t0)
+	a2 := mallocCount()
+	res.Stats.Allocs.Boundary = a2 - a1
 	var surfacePts []geom.Point
 	for i := range g.Surfaces {
 		surfacePts = append(surfacePts, g.Surfaces[i].Points...)
@@ -93,6 +108,8 @@ func Generate(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	res.Stats.Times.Decompose = time.Since(t0)
+	a3 := mallocCount()
+	res.Stats.Allocs.Decompose = a3 - a2
 
 	// Filter the merged Delaunay triangulation down to the boundary-layer
 	// annuli: keep a triangle when its centroid lies inside some element's
@@ -127,6 +144,8 @@ func Generate(cfg Config) (*Result, error) {
 	res.Stats.TransitionTris = transCount
 	res.Stats.InviscidTris = invCount
 	res.Stats.Times.Parallel = time.Since(t0)
+	a4 := mallocCount()
+	res.Stats.Allocs.Parallel = a4 - a3
 
 	// Final merge.
 	t0 = time.Now()
@@ -145,6 +164,9 @@ func Generate(cfg Config) (*Result, error) {
 	res.Stats.TotalTriangles = res.Mesh.NumTriangles()
 	res.Stats.Times.Merge = time.Since(t0)
 	res.Stats.Times.Total = time.Since(start)
+	a5 := mallocCount()
+	res.Stats.Allocs.Merge = a5 - a4
+	res.Stats.Allocs.Total = a5 - allocStart
 
 	if err := res.Mesh.Audit(); err != nil {
 		return nil, fmt.Errorf("core: final mesh failed audit: %w", err)

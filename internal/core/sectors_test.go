@@ -140,15 +140,25 @@ func TestTaskCodecRoundTrips(t *testing.T) {
 	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0.5, 1)}
 	segs := [][2]int32{{0, 1}, {1, 2}, {2, 0}}
 	holes := []geom.Point{geom.Pt(0.5, 0.3)}
-	payload := encodeRegionTask(kindInviscid, pts, segs, holes)
-	vals := mpi.DecodeFloats(payload)
+	vals := regionTaskVals(kindInviscid, pts, segs, holes)
 	if int(vals[0]) != kindInviscid || int(vals[1]) != 3 || int(vals[2]) != 3 || int(vals[3]) != 1 {
-		t.Fatalf("header decoded as %v", vals[:4])
+		t.Fatalf("header built as %v", vals[:4])
 	}
-	// Processing the payload yields one triangle... the hole removes it,
+	// The vals vector must survive a serialize/deserialize round trip
+	// bit-for-bit — that is the wire format a distributed run would use.
+	decoded := mpi.DecodeFloats(mpi.EncodeFloats(vals))
+	if len(decoded) != len(vals) {
+		t.Fatalf("round trip length %d, want %d", len(decoded), len(vals))
+	}
+	for i := range vals {
+		if decoded[i] != vals[i] {
+			t.Fatalf("round trip slot %d: %v != %v", i, decoded[i], vals[i])
+		}
+	}
+	// Processing the task yields one triangle... the hole removes it,
 	// so use no holes for the positive check.
-	payload = encodeRegionTask(kindInviscid, pts, segs, nil)
-	tris, err := processTask(payload, geom.BBox{Min: geom.Pt(-1, -1), Max: geom.Pt(2, 2)}, sizing.Uniform(10))
+	vals = regionTaskVals(kindInviscid, pts, segs, nil)
+	tris, err := processTask(vals, geom.BBox{Min: geom.Pt(-1, -1), Max: geom.Pt(2, 2)}, sizing.Uniform(10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +171,7 @@ func TestProcessTaskErrors(t *testing.T) {
 	if _, err := processTask(nil, geom.BBox{}, nil); err == nil {
 		t.Error("empty payload must fail")
 	}
-	bad := encodeRegionTask(99, nil, nil, nil)
+	bad := regionTaskVals(99, nil, nil, nil)
 	if _, err := processTask(bad, geom.BBox{}, nil); err == nil {
 		t.Error("unknown kind must fail")
 	}
@@ -174,9 +184,12 @@ func TestBLLeafPayloadUsesOnlyXSorted(t *testing.T) {
 	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0, 1), geom.Pt(1, 1), geom.Pt(0.5, 0.5)}
 	leaf := project.New(pts)
 	leaf.DropYSorted()
-	payload := encodeBLLeaf(leaf)
+	vals := blLeafVals(leaf)
 	wantFloats := 5 + 2*len(pts) // kind + 4 region bounds + coordinates
-	if len(payload) != 8*wantFloats {
-		t.Errorf("payload = %d bytes, want %d (one copy of the coordinates)", len(payload), 8*wantFloats)
+	if len(vals) != wantFloats {
+		t.Errorf("task vector = %d floats, want %d (one copy of the coordinates)", len(vals), wantFloats)
+	}
+	if cap(vals) != wantFloats {
+		t.Errorf("task vector capacity = %d, want exactly %d (no over-allocation)", cap(vals), wantFloats)
 	}
 }

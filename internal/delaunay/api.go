@@ -2,7 +2,7 @@ package delaunay
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"pamg2d/internal/geom"
 )
@@ -109,7 +109,7 @@ func Build(in Input) (*Triangulation, error) {
 	if bb == (geom.BBox{}) || bb.Empty() {
 		bb = geom.BBoxOf(in.Points)
 	}
-	t := New(bb)
+	t := NewCap(bb, len(in.Points))
 
 	// Insert points in spatially coherent order: either the caller's
 	// x-sorted order, or sorted here. Sorted insertion makes the
@@ -120,13 +120,25 @@ func Build(in Input) (*Triangulation, error) {
 	}
 	if !in.Sorted {
 		pts := in.Points
-		sort.Slice(order, func(i, j int) bool {
-			a, b := pts[order[i]], pts[order[j]]
-			if a.X != b.X {
-				return a.X < b.X
+		slices.SortFunc(order, func(i, j int) int {
+			a, b := pts[i], pts[j]
+			switch {
+			case a.X < b.X:
+				return -1
+			case a.X > b.X:
+				return 1
+			case a.Y < b.Y:
+				return -1
+			case a.Y > b.Y:
+				return 1
 			}
-			return a.Y < b.Y
+			return 0
 		})
+		// Without caller-provided spatial coherence, refinement and segment
+		// recovery issue scattered locate queries; the bin seed bounds those
+		// walks (BRIO-style) without perturbing the deterministic insertion
+		// order.
+		t.EnableBinSeeding(geom.BBoxOf(in.Points), len(in.Points))
 	}
 	// vmap maps input point indices to triangulation vertex indices
 	// (offset by the four frame corners, or aliased for duplicates).
@@ -162,7 +174,12 @@ func (t *Triangulation) Extract() *Result {
 	for i := range remap {
 		remap[i] = -1
 	}
-	res := &Result{}
+	nInterior := t.InteriorTriangles()
+	res := &Result{
+		Points:      make([]geom.Point, 0, len(t.pts)),
+		Triangles:   make([][3]int32, 0, nInterior),
+		Constrained: make([][3]bool, 0, nInterior),
+	}
 	for i := range t.tris {
 		tr := t.tris[i]
 		if tr.Dead || tr.Outside {

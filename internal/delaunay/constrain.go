@@ -247,16 +247,18 @@ func (t *Triangulation) firstCrossing(a int32, target geom.Point) (int32, int32)
 			return invalid, invalid
 		}
 	}
-	// Walk around vertex a's star.
-	visited := map[int32]bool{}
-	stack := []int32{start}
+	// Walk around vertex a's star using the shared traversal scratch.
+	mark := t.beginStarWalk()
+	epoch := t.starEpoch
+	stack := append(t.starStack, start)
+	defer func() { t.starStack = stack[:0] }()
 	for len(stack) > 0 {
 		ti := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if visited[ti] {
+		if mark[ti] == epoch {
 			continue
 		}
-		visited[ti] = true
+		mark[ti] = epoch
 		tr := t.tris[ti]
 		ai := int32(-1)
 		for i := int32(0); i < 3; i++ {
@@ -295,7 +297,7 @@ func (t *Triangulation) firstCrossing(a int32, target geom.Point) (int32, int32)
 		for e := int32(0); e < 3; e++ {
 			if tr.V[e] == a || tr.V[(e+1)%3] == a {
 				nb := tr.N[e]
-				if nb != invalid && !t.tris[nb].Dead && !visited[nb] {
+				if nb != invalid && !t.tris[nb].Dead && mark[nb] != epoch {
 					stack = append(stack, nb)
 				}
 			}
@@ -357,8 +359,28 @@ func (t *Triangulation) vertexOnSegment(a, b int32) int32 {
 	return found
 }
 
+// beginStarWalk resets the shared star-traversal scratch and returns the
+// marker slice. A triangle counts as visited in the current traversal iff
+// its mark equals t.starEpoch, so the reset is one increment; the marker
+// array only needs re-zeroing on epoch wraparound.
+func (t *Triangulation) beginStarWalk() []uint32 {
+	if len(t.starMark) < len(t.tris) {
+		t.starMark = append(t.starMark, make([]uint32, len(t.tris)-len(t.starMark))...)
+	}
+	t.starEpoch++
+	if t.starEpoch == 0 {
+		for i := range t.starMark {
+			t.starMark[i] = 0
+		}
+		t.starEpoch = 1
+	}
+	t.starStack = t.starStack[:0]
+	return t.starMark
+}
+
 // visitStar calls f for every live triangle incident to vertex v until f
-// returns false.
+// returns false. The traversal scratch is reused across calls; f must not
+// start a nested star traversal.
 func (t *Triangulation) visitStar(v int32, f func(ti int32) bool) {
 	start := t.vtri[v]
 	if start == invalid || t.tris[start].Dead {
@@ -367,15 +389,16 @@ func (t *Triangulation) visitStar(v int32, f func(ti int32) bool) {
 			return
 		}
 	}
-	visited := map[int32]bool{}
-	stack := []int32{start}
+	mark := t.beginStarWalk()
+	epoch := t.starEpoch
+	stack := append(t.starStack, start)
 	for len(stack) > 0 {
 		ti := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if visited[ti] || t.tris[ti].Dead {
+		if mark[ti] == epoch || t.tris[ti].Dead {
 			continue
 		}
-		visited[ti] = true
+		mark[ti] = epoch
 		tr := t.tris[ti]
 		has := false
 		for i := 0; i < 3; i++ {
@@ -388,17 +411,19 @@ func (t *Triangulation) visitStar(v int32, f func(ti int32) bool) {
 			continue
 		}
 		if !f(ti) {
+			t.starStack = stack[:0]
 			return
 		}
 		for e := int32(0); e < 3; e++ {
 			if tr.V[e] == v || tr.V[(e+1)%3] == v {
 				nb := tr.N[e]
-				if nb != invalid && !visited[nb] {
+				if nb != invalid && mark[nb] != epoch {
 					stack = append(stack, nb)
 				}
 			}
 		}
 	}
+	t.starStack = stack[:0]
 }
 
 // findIncident scans for any live triangle incident to v (slow fallback).

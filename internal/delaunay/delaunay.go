@@ -62,10 +62,42 @@ type Triangulation struct {
 	cavityTris  []int32
 	cavityEdges []cavityEdge
 
-	// insertedOn records, for the most recent InsertPoint call, the
-	// constrained segment the point happened to lie on (invalid pair
-	// otherwise). Segment splitting in the refiner uses it.
+	// stack is the cavity breadth-first search worklist, reused across
+	// insertions like the cavity buffers above.
 	stack []int32
+
+	// fanOpen is commitCavity's scratch list of fan-triangle edges still
+	// waiting for their sibling, reused across insertions.
+	fanOpen []fanEdge
+
+	// starMark/starStack/starEpoch are the star-traversal scratch shared by
+	// visitStar and firstCrossing (never active at the same time): a
+	// triangle is visited in the current traversal iff starMark[ti] equals
+	// starEpoch, so resetting between traversals is a single increment.
+	starMark  []uint32
+	starStack []int32
+	starEpoch uint32
+
+	// refSegs and refTris hold the refiner's worklists between Refine
+	// calls so repeated refinement passes reuse their backing arrays.
+	refSegs []segRef
+	refTris []triRef
+
+	// binGrid, when non-nil, hashes points to cells and binSeed remembers
+	// the most recent vertex per cell; locate starts its walk from that
+	// vertex when it is closer to the query than the default seed. Enabled
+	// by Build for inputs without spatial coherence.
+	binGrid *geom.Grid
+	binSeed []int32
+}
+
+// fanEdge is one open edge of the cavity fan under construction: the
+// directed edge between the new vertex v and another cavity-boundary
+// vertex, waiting to be linked to the sibling fan triangle that shares it.
+type fanEdge struct {
+	other  int32 // the non-v endpoint
+	tri, e int32 // fan triangle and its edge index
+	fromV  bool  // directed (v, other) if true, (other, v) otherwise
 }
 
 type cavityEdge struct {
@@ -87,7 +119,13 @@ var ErrOutside = errors.New("delaunay: point outside bounding box")
 // New creates a triangulation whose working area is the given bounding box
 // inflated by a margin. All points inserted later must lie within the
 // original box.
-func New(bb geom.BBox) *Triangulation {
+func New(bb geom.BBox) *Triangulation { return NewCap(bb, 0) }
+
+// NewCap is New with a capacity hint: the expected number of points to be
+// inserted. The vertex and triangle stores are preallocated from the hint
+// (an incremental Delaunay triangulation of n points holds about 2n live
+// triangles), eliminating append regrowth during bulk insertion.
+func NewCap(bb geom.BBox, expectPoints int) *Triangulation {
 	if bb.Empty() {
 		bb = geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)}
 	}
@@ -99,6 +137,11 @@ func New(bb geom.BBox) *Triangulation {
 	}
 	bb = bb.Inflate(d)
 	t := &Triangulation{last: 0}
+	if expectPoints > 0 {
+		t.pts = make([]geom.Point, 0, expectPoints+4)
+		t.vtri = make([]int32, 0, expectPoints+4)
+		t.tris = make([]Tri, 0, 2*expectPoints+16)
+	}
 	c0 := t.addPoint(geom.Pt(bb.Min.X, bb.Min.Y))
 	c1 := t.addPoint(geom.Pt(bb.Max.X, bb.Min.Y))
 	c2 := t.addPoint(geom.Pt(bb.Max.X, bb.Max.Y))
@@ -132,7 +175,32 @@ func (t *Triangulation) IsCorner(v int32) bool {
 func (t *Triangulation) addPoint(p geom.Point) int32 {
 	t.pts = append(t.pts, p)
 	t.vtri = append(t.vtri, invalid)
-	return int32(len(t.pts) - 1)
+	v := int32(len(t.pts) - 1)
+	if t.binGrid != nil {
+		t.binSeed[t.binGrid.Cell(p)] = v
+	}
+	return v
+}
+
+// EnableBinSeeding turns on spatially hashed walk seeds for locate: points
+// hash to cells of a uniform grid over bb, and each insertion remembers its
+// vertex in its cell so later queries nearby start their walk there. This
+// is the cheap BRIO-style accelerator for insertion orders without spatial
+// coherence; expectPoints sizes the grid (about two points per cell). The
+// already-inserted vertices seed their cells immediately.
+func (t *Triangulation) EnableBinSeeding(bb geom.BBox, expectPoints int) {
+	cells := expectPoints / 2
+	if cells < 1 {
+		cells = 1
+	}
+	t.binGrid = geom.NewGrid(bb, cells)
+	t.binSeed = make([]int32, t.binGrid.NumCells())
+	for i := range t.binSeed {
+		t.binSeed[i] = invalid
+	}
+	for v, p := range t.pts {
+		t.binSeed[t.binGrid.Cell(p)] = int32(v)
+	}
 }
 
 func (t *Triangulation) addTri(a, b, c int32) int32 {
@@ -292,9 +360,22 @@ func (t *Triangulation) commitCavity(v int32) {
 	}
 
 	// Fan v to each boundary edge, then stitch neighbor pointers between
-	// consecutive fan triangles via a directed-edge lookup.
-	type halfEdge struct{ tri, e int32 }
-	open := make(map[[2]int32]halfEdge, 2*len(t.cavityEdges))
+	// consecutive fan triangles. Every interior fan edge is shared by
+	// exactly two fan triangles, so a small open-edge list with linear
+	// matching replaces a per-insert map: cavities are tiny (a handful of
+	// edges), making the scan cheaper than hashing and allocation-free.
+	open := t.fanOpen[:0]
+	match := func(other int32, fromV bool) (fanEdge, bool) {
+		for i := range open {
+			if open[i].other == other && open[i].fromV == fromV {
+				fe := open[i]
+				open[i] = open[len(open)-1]
+				open = open[:len(open)-1]
+				return fe, true
+			}
+		}
+		return fanEdge{}, false
+	}
 	for _, ce := range t.cavityEdges {
 		nt := t.addTri(v, ce.a, ce.b)
 		// Each fan triangle lies on the same side of any constraint as the
@@ -306,19 +387,18 @@ func (t *Triangulation) commitCavity(v int32) {
 		t.link(nt, 1, ce.t, ce.te)
 		// Edge 0 is (v,a), edge 2 is (b,v): shared with sibling fan
 		// triangles. Match (v,a) against a sibling's (a,v).
-		if he, ok := open[[2]int32{ce.a, v}]; ok {
+		if he, ok := match(ce.a, false); ok {
 			t.link(nt, 0, he.tri, he.e)
-			delete(open, [2]int32{ce.a, v})
 		} else {
-			open[[2]int32{v, ce.a}] = halfEdge{nt, 0}
+			open = append(open, fanEdge{other: ce.a, tri: nt, e: 0, fromV: true})
 		}
-		if he, ok := open[[2]int32{v, ce.b}]; ok {
+		if he, ok := match(ce.b, true); ok {
 			t.link(nt, 2, he.tri, he.e)
-			delete(open, [2]int32{v, ce.b})
 		} else {
-			open[[2]int32{ce.b, v}] = halfEdge{nt, 2}
+			open = append(open, fanEdge{other: ce.b, tri: nt, e: 2, fromV: false})
 		}
 	}
+	t.fanOpen = open[:0]
 }
 
 func (t *Triangulation) inCavityList(ti int32) bool {
@@ -348,13 +428,24 @@ type location struct {
 }
 
 // locate finds the triangle containing p by straight walking from the last
-// visited triangle, using exact orientation tests.
+// visited triangle (or, with bin seeding enabled, from the nearest of the
+// last triangle and the query cell's remembered vertex), using exact
+// orientation tests.
 func (t *Triangulation) locate(p geom.Point) location {
 	ti := t.last
 	if ti == invalid || int(ti) >= len(t.tris) || t.tris[ti].Dead {
 		ti = t.anyLive()
 		if ti == invalid {
 			return location{kind: locOutside}
+		}
+	}
+	if t.binGrid != nil {
+		if w := t.binSeed[t.binGrid.Cell(p)]; w != invalid {
+			if wt := t.vtri[w]; wt != invalid && !t.tris[wt].Dead {
+				if t.pts[w].Dist2(p) < t.pts[t.tris[ti].V[0]].Dist2(p) {
+					ti = wt
+				}
+			}
 		}
 	}
 	maxSteps := 4*len(t.tris) + 16

@@ -23,7 +23,9 @@ func (t *Triangulation) Refine(q Quality) error {
 		bb := geom.BBoxOf(t.pts)
 		minLen = 1e-8 * (bb.Width() + bb.Height())
 	}
-	r := &refiner{t: t, q: q, minLen: minLen}
+	// The worklists live on the Triangulation so repeated Refine calls
+	// reuse their backing arrays.
+	r := &refiner{t: t, q: q, minLen: minLen, segs: t.refSegs[:0], tris: t.refTris[:0]}
 
 	// Seed the queues with every interior triangle and constrained edge.
 	for i := range t.tris {
@@ -38,7 +40,9 @@ func (t *Triangulation) Refine(q Quality) error {
 			}
 		}
 	}
-	return r.run()
+	err := r.run()
+	t.refSegs, t.refTris = r.segs[:0], r.tris[:0]
+	return err
 }
 
 type triRef struct {

@@ -47,11 +47,14 @@ func Orient2D(a, b, c Point) float64 {
 //	| ax-cx  ay-cy |   = ax*by - ax*cy - ay*bx + ay*cx + bx*cy - by*cx
 //	| bx-cx  by-cy |
 func orient2DExact(a, b, c Point) float64 {
-	axby := twoTwoDiff(a.X, b.Y, a.X, c.Y) // ax*by - ax*cy
-	aybx := twoTwoDiff(a.Y, c.X, a.Y, b.X) // ay*cx - ay*bx
-	bxcy := twoTwoDiff(b.X, c.Y, b.Y, c.X) // bx*cy - by*cx
-	det := expSum(expSum(axby, aybx), bxcy)
-	return expEstimate(det)
+	ar := getArena()
+	axby := ar.twoTwoDiff(a.X, b.Y, a.X, c.Y) // ax*by - ax*cy
+	aybx := ar.twoTwoDiff(a.Y, c.X, a.Y, b.X) // ay*cx - ay*bx
+	bxcy := ar.twoTwoDiff(b.X, c.Y, b.Y, c.X) // bx*cy - by*cx
+	det := ar.sum(ar.sum(axby, aybx), bxcy)
+	est := expEstimate(det)
+	putArena(ar)
+	return est
 }
 
 // Orient2DSign returns the sign of Orient2D as -1, 0, or +1.
@@ -113,10 +116,11 @@ func InCircle(a, b, c, d Point) float64 {
 // expanded along the last column. The sign equals the sign of the
 // translated 3x3 determinant used by the fast path.
 func inCircleExact(a, b, c, d Point) float64 {
+	ar := getArena()
 	lift := func(p Point) []float64 {
 		x1, x0 := twoProduct(p.X, p.X)
 		y1, y0 := twoProduct(p.Y, p.Y)
-		return expSum([]float64{x0, x1}, []float64{y0, y1})
+		return ar.sum(ar.pair(x0, x1), ar.pair(y0, y1))
 	}
 	la := lift(a)
 	lb := lift(b)
@@ -124,19 +128,22 @@ func inCircleExact(a, b, c, d Point) float64 {
 	ld := lift(d)
 
 	// 2x2 minors m[pq] = px*qy - py*qx for all ordered pairs we need.
-	mab := twoTwoDiff(a.X, b.Y, a.Y, b.X)
-	mac := twoTwoDiff(a.X, c.Y, a.Y, c.X)
-	mad := twoTwoDiff(a.X, d.Y, a.Y, d.X)
-	mbc := twoTwoDiff(b.X, c.Y, b.Y, c.X)
-	mbd := twoTwoDiff(b.X, d.Y, b.Y, d.X)
-	mcd := twoTwoDiff(c.X, d.Y, c.Y, d.X)
+	mab := ar.twoTwoDiff(a.X, b.Y, a.Y, b.X)
+	mac := ar.twoTwoDiff(a.X, c.Y, a.Y, c.X)
+	mad := ar.twoTwoDiff(a.X, d.Y, a.Y, d.X)
+	mbc := ar.twoTwoDiff(b.X, c.Y, b.Y, c.X)
+	mbd := ar.twoTwoDiff(b.X, d.Y, b.Y, d.X)
+	mcd := ar.twoTwoDiff(c.X, d.Y, c.Y, d.X)
 
 	// 3x3 minor with rows p,q,r (columns x,y,lift):
 	//   lift(p)*m[qr] - lift(q)*m[pr] + lift(r)*m[pq]
+	// The minors are read by two later minor3 calls, so the negated
+	// products must not negate shared storage: expNeg is applied to the
+	// freshly multiplied (arena-private) copies only.
 	minor3 := func(lp, lq, lr, mqr, mpr, mpq []float64) []float64 {
-		t := expMul(lp, mqr)
-		t = expSum(t, expNeg(expMul(lq, mpr)))
-		return expSum(t, expMul(lr, mpq))
+		t := ar.mul(lp, mqr)
+		t = ar.sum(t, expNeg(ar.mul(lq, mpr)))
+		return ar.sum(t, ar.mul(lr, mpq))
 	}
 	// det = -M(b,c,d) + M(a,c,d) - M(a,b,d) + M(a,b,c)
 	mbcd := minor3(lb, lc, ld, mcd, mbd, mbc)
@@ -144,10 +151,12 @@ func inCircleExact(a, b, c, d Point) float64 {
 	mabd := minor3(la, lb, ld, mbd, mad, mab)
 	mabc := minor3(la, lb, lc, mbc, mac, mab)
 
-	det := expSum(expNeg(mbcd), macd)
-	det = expSum(det, expNeg(mabd))
-	det = expSum(det, mabc)
-	return expEstimate(det)
+	det := ar.sum(expNeg(mbcd), macd)
+	det = ar.sum(det, expNeg(mabd))
+	det = ar.sum(det, mabc)
+	est := expEstimate(det)
+	putArena(ar)
+	return est
 }
 
 // InCircleSign returns the sign of InCircle as -1, 0, or +1.

@@ -28,6 +28,19 @@ type Task struct {
 	BoundaryLayer bool
 	// Payload is the serialized subdomain, opaque to the balancer.
 	Payload []byte
+	// Vals is the zero-copy alternative to Payload for tasks built in the
+	// same address space: the floats that EncodeFloats would have packed,
+	// handed around by reference. Steal transfers still account the bytes
+	// the serialized form would occupy (see WireBytes), so the
+	// communication-volume statistics are unchanged by the fast path.
+	Vals []float64
+}
+
+// WireBytes returns the number of bytes the task would occupy on a real
+// interconnect: the 24-byte header of the stealing protocol plus the
+// serialized payload, whichever representation the task carries.
+func (t *Task) WireBytes() int {
+	return 24 + len(t.Payload) + 8*len(t.Vals)
 }
 
 // message tags of the stealing protocol.
@@ -220,7 +233,10 @@ func Run(c *mpi.Comm, win *mpi.Window, initial []Task, totalTasks int, opt Optio
 				switch tag {
 				case tagRequest:
 					if t, ok := st.popForSteal(); ok {
-						c.Send(src, tagGrant, encodeTask(t))
+						// Zero-copy transfer: the task moves by reference,
+						// accounted at exactly the size its serialized form
+						// (encodeTask) would occupy on the wire.
+						c.SendRef(src, tagGrant, t, t.WireBytes())
 						statsMu.Lock()
 						stats.StealsGranted++
 						statsMu.Unlock()
@@ -228,7 +244,12 @@ func Run(c *mpi.Comm, win *mpi.Window, initial []Task, totalTasks int, opt Optio
 						c.Send(src, tagDeny, nil)
 					}
 				case tagGrant:
-					st.push(decodeTask(data))
+					switch p := data.(type) {
+					case Task:
+						st.push(p)
+					case []byte:
+						st.push(decodeTask(p))
+					}
 					awaitingGrant = false
 					statsMu.Lock()
 					stats.StealsGotten++
@@ -276,19 +297,27 @@ func Run(c *mpi.Comm, win *mpi.Window, initial []Task, totalTasks int, opt Optio
 	return stats
 }
 
-// encodeTask serializes a task for transfer.
-// tryRecvBalancer polls only the balancer's tag range.
-func tryRecvBalancer(c *mpi.Comm) (data []byte, src, tag int, ok bool) {
+// tryRecvBalancer polls only the balancer's tag range. Grants travel as
+// Task references on the zero-copy path, so the payload is returned as an
+// interface value; byte payloads from remote-style senders pass through
+// unchanged.
+func tryRecvBalancer(c *mpi.Comm) (data any, src, tag int, ok bool) {
 	for t := tagRequest; t <= tagTerminate; t++ {
-		if d, s, tg, found := c.TryRecv(mpi.AnySource, t); found {
+		if d, s, tg, found := c.TryRecvRef(mpi.AnySource, t); found {
 			return d, s, tg, true
 		}
 	}
 	return nil, 0, 0, false
 }
 
+// encodeTask serializes a task for transfer; this is the wire format whose
+// size SendRef-based grants account for.
+
 func encodeTask(t Task) []byte {
 	head := mpi.EncodeFloats([]float64{float64(t.ID), t.Cost, boolTo(t.BoundaryLayer)})
+	if len(t.Vals) > 0 {
+		return append(head, mpi.EncodeFloats(t.Vals)...)
+	}
 	return append(head, t.Payload...)
 }
 

@@ -27,21 +27,26 @@ var (
 )
 
 // Reduce combines equal-length vectors element-wise at the root
-// (MPI_Reduce). Non-root ranks return nil.
+// (MPI_Reduce). Non-root ranks return nil. Contribution payloads travel
+// in pooled buffers: each is read by exactly one receiver (the root), so
+// ownership transfers with the message and the root releases the buffer
+// after folding it into the accumulator.
 func (c *Comm) Reduce(root, tag int, data []float64, op Op) []float64 {
 	if c.rank != root {
-		c.Send(root, tag, EncodeFloats(data))
+		c.Send(root, tag, EncodeFloatsPooled(data))
 		return nil
 	}
 	acc := append([]float64{}, data...)
 	for i := 0; i < c.world.n-1; i++ {
 		d, _, _ := c.Recv(AnySource, tag)
-		v := DecodeFloats(d)
+		v := DecodeFloatsPooled(d)
 		for k := range acc {
 			if k < len(v) {
 				acc[k] = op(acc[k], v[k])
 			}
 		}
+		PutFloats(v)
+		PutBytes(d)
 	}
 	return acc
 }

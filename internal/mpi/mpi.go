@@ -34,6 +34,11 @@ type Stats struct {
 type message struct {
 	from, tag int
 	data      []byte
+	// ref is the zero-copy fast path: when ranks share one address space
+	// a payload can travel by reference instead of through serialized
+	// bytes. Exactly one of data/ref is set; the byte count that would
+	// have crossed a real wire is accounted at send time either way.
+	ref any
 }
 
 // msgQueue is a FIFO with an amortized-O(1) head pop: consumed entries
@@ -204,6 +209,32 @@ func (c *Comm) Send(to, tag int, data []byte) {
 	mb.mu.Unlock()
 }
 
+// SendRef delivers an in-address-space payload by reference — the
+// zero-copy fast path for ranks that are goroutines in one process. No
+// bytes are copied or even materialized; wireBytes is the size the
+// serialized payload would occupy on a real interconnect and is what the
+// stats counters record, so the communication-volume accounting is
+// byte-for-byte identical to sending the encoded form with Send.
+// Ownership of ref passes to the receiver.
+func (c *Comm) SendRef(to, tag int, ref any, wireBytes int) {
+	if to < 0 || to >= c.world.n {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d", to))
+	}
+	st := c.world.stats
+	st.Messages.Add(1)
+	st.Bytes.Add(int64(wireBytes))
+	mb := c.world.boxes[to]
+	mb.mu.Lock()
+	q := mb.tags[tag]
+	if q == nil {
+		q = &msgQueue{}
+		mb.tags[tag] = q
+	}
+	q.push(message{from: c.rank, tag: tag, ref: ref})
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+}
+
 // Recv blocks until a message matching (from, tag) arrives and returns its
 // payload and envelope. Use AnySource and AnyTag as wildcards.
 func (c *Comm) Recv(from, tag int) (data []byte, srcRank, srcTag int) {
@@ -221,6 +252,27 @@ func (c *Comm) Recv(from, tag int) (data []byte, srcRank, srcTag int) {
 	}
 }
 
+// RecvRef blocks like Recv but returns the message's reference payload.
+// For a message sent with Send it returns the byte slice as the ref, so a
+// tag may mix both transports; callers type-switch on the result.
+func (c *Comm) RecvRef(from, tag int) (ref any, srcRank, srcTag int) {
+	mb := c.world.boxes[c.rank]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		if m, ok := mb.match(from, tag); ok {
+			if m.ref != nil {
+				return m.ref, m.from, m.tag
+			}
+			return m.data, m.from, m.tag
+		}
+		if mb.closed {
+			panic("mpi: world torn down while receiving")
+		}
+		mb.cond.Wait()
+	}
+}
+
 // TryRecv is a non-blocking probe-and-receive: ok is false when no
 // matching message is queued.
 func (c *Comm) TryRecv(from, tag int) (data []byte, srcRank, srcTag int, ok bool) {
@@ -228,6 +280,20 @@ func (c *Comm) TryRecv(from, tag int) (data []byte, srcRank, srcTag int, ok bool
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	if m, ok := mb.match(from, tag); ok {
+		return m.data, m.from, m.tag, true
+	}
+	return nil, 0, 0, false
+}
+
+// TryRecvRef is the non-blocking form of RecvRef.
+func (c *Comm) TryRecvRef(from, tag int) (ref any, srcRank, srcTag int, ok bool) {
+	mb := c.world.boxes[c.rank]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if m, ok := mb.match(from, tag); ok {
+		if m.ref != nil {
+			return m.ref, m.from, m.tag, true
+		}
 		return m.data, m.from, m.tag, true
 	}
 	return nil, 0, 0, false
@@ -354,19 +420,27 @@ func (win *Window) Add(idx int, delta float64) {
 // EncodeFloats packs a float64 slice little-endian.
 func EncodeFloats(v []float64) []byte {
 	out := make([]byte, 8*len(v))
+	encodeFloatsInto(out, v)
+	return out
+}
+
+func encodeFloatsInto(out []byte, v []float64) {
 	for i, f := range v {
 		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(f))
 	}
-	return out
 }
 
 // DecodeFloats unpacks a payload written by EncodeFloats.
 func DecodeFloats(b []byte) []float64 {
 	out := make([]float64, len(b)/8)
+	decodeFloatsInto(out, b)
+	return out
+}
+
+func decodeFloatsInto(out []float64, b []byte) {
 	for i := range out {
 		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
 	}
-	return out
 }
 
 // EncodeInts packs an int32 slice little-endian.

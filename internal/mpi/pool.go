@@ -1,0 +1,119 @@
+package mpi
+
+// Pooled buffer management for the message fabric. Payload buffers are the
+// dominant allocation of the in-process runtime: every task and every
+// result used to round-trip through a freshly allocated byte slice. The
+// pools below hand out power-of-two size classes backed by sync.Pool, with
+// explicit release; a released buffer may be handed to a later caller, so
+// the usual ownership rule applies — release only after the last reader is
+// done with the message (for point-to-point transfers, ownership passes to
+// the receiver).
+//
+// The slice headers themselves are recycled through a secondary pool
+// (entryPool) so that a Get/encode/Put cycle performs zero heap
+// allocations in steady state — the property BenchmarkPooledEncode
+// asserts.
+
+import "sync"
+
+// maxPoolClass bounds the pooled size classes: buffers above 2^maxPoolClass
+// bytes (16 MiB) bypass the pool and fall back to the garbage collector.
+const maxPoolClass = 24
+
+// entry wraps a buffer so the pools traffic in pointers; storing slices
+// directly in a sync.Pool would allocate a header on every Put.
+type entry struct {
+	b []byte
+	f []float64
+}
+
+var entryPool = sync.Pool{New: func() any { return new(entry) }}
+
+var (
+	bytePools  [maxPoolClass + 1]sync.Pool
+	floatPools [maxPoolClass + 1]sync.Pool
+)
+
+// classFor returns the smallest size class c with 1<<c >= n.
+func classFor(n int) int {
+	c := 0
+	for 1<<c < n {
+		c++
+	}
+	return c
+}
+
+// GetBytes returns a length-n byte slice from the pool. The contents are
+// unspecified; callers overwrite before use. Release with PutBytes.
+func GetBytes(n int) []byte {
+	c := classFor(n)
+	if c > maxPoolClass {
+		return make([]byte, n)
+	}
+	if e, _ := bytePools[c].Get().(*entry); e != nil {
+		b := e.b
+		e.b = nil
+		entryPool.Put(e)
+		return b[:n]
+	}
+	return make([]byte, n, 1<<c)
+}
+
+// PutBytes releases a buffer obtained from GetBytes back to the pool.
+// Buffers whose capacity is not a pooled size class (for example slices
+// allocated elsewhere) are silently dropped, so PutBytes is safe to call
+// on any message payload. The caller must not touch b afterwards.
+func PutBytes(b []byte) {
+	c := classFor(cap(b))
+	if c > maxPoolClass || cap(b) != 1<<c || cap(b) == 0 {
+		return
+	}
+	e := entryPool.Get().(*entry)
+	e.b = b[:cap(b)]
+	bytePools[c].Put(e)
+}
+
+// GetFloats returns a length-n float64 slice from the pool; release with
+// PutFloats.
+func GetFloats(n int) []float64 {
+	c := classFor(n)
+	if c > maxPoolClass {
+		return make([]float64, n)
+	}
+	if e, _ := floatPools[c].Get().(*entry); e != nil {
+		f := e.f
+		e.f = nil
+		entryPool.Put(e)
+		return f[:n]
+	}
+	return make([]float64, n, 1<<c)
+}
+
+// PutFloats releases a slice obtained from GetFloats back to the pool.
+func PutFloats(v []float64) {
+	c := classFor(cap(v))
+	if c > maxPoolClass || cap(v) != 1<<c || cap(v) == 0 {
+		return
+	}
+	e := entryPool.Get().(*entry)
+	e.f = v[:cap(v)]
+	floatPools[c].Put(e)
+}
+
+// EncodeFloatsPooled packs a float64 slice little-endian into a pooled
+// buffer. The wire format is identical to EncodeFloats; the only
+// difference is the buffer's provenance. Release with PutBytes once the
+// message's last reader is done.
+func EncodeFloatsPooled(v []float64) []byte {
+	out := GetBytes(8 * len(v))
+	encodeFloatsInto(out, v)
+	return out
+}
+
+// DecodeFloatsPooled unpacks a payload written by EncodeFloats or
+// EncodeFloatsPooled into a pooled float64 slice. Release with PutFloats.
+func DecodeFloatsPooled(b []byte) []float64 {
+	out := GetFloats(len(b) / 8)
+	decodeFloatsInto(out, b)
+	return out
+}

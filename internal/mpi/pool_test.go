@@ -1,0 +1,208 @@
+package mpi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the pooled encode/decode pair is byte-identical to the plain
+// pair for arbitrary float vectors, including NaN payloads and both
+// infinities, and the round trip reproduces every bit pattern.
+func TestPooledEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(v []float64) bool {
+		b := EncodeFloatsPooled(v)
+		plain := EncodeFloats(v)
+		if len(b) != len(plain) {
+			return false
+		}
+		for i := range b {
+			if b[i] != plain[i] {
+				return false
+			}
+		}
+		got := DecodeFloatsPooled(b)
+		if len(got) != len(v) {
+			return false
+		}
+		for i := range v {
+			if math.Float64bits(got[i]) != math.Float64bits(v[i]) {
+				return false
+			}
+		}
+		PutFloats(got)
+		PutBytes(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// Edge cases quick.Check may not generate.
+	for _, v := range [][]float64{nil, {}, {math.NaN()}, {math.Inf(1), math.Inf(-1), -0.0}} {
+		b := EncodeFloatsPooled(v)
+		got := DecodeFloatsPooled(b)
+		if len(got) != len(v) {
+			t.Fatalf("round trip of %v returned %v", v, got)
+		}
+		for i := range v {
+			if math.Float64bits(got[i]) != math.Float64bits(v[i]) {
+				t.Fatalf("bit pattern %x != %x", math.Float64bits(got[i]), math.Float64bits(v[i]))
+			}
+		}
+		PutFloats(got)
+		PutBytes(b)
+	}
+}
+
+func TestGetBytesLengthAndClasses(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 1023, 1024, 1025, 1 << 20} {
+		b := GetBytes(n)
+		if len(b) != n {
+			t.Fatalf("GetBytes(%d) has len %d", n, len(b))
+		}
+		PutBytes(b)
+		f := GetFloats(n)
+		if len(f) != n {
+			t.Fatalf("GetFloats(%d) has len %d", n, len(f))
+		}
+		PutFloats(f)
+	}
+	// Oversized requests bypass the pool but must still work.
+	big := GetBytes(1<<maxPoolClass + 1)
+	if len(big) != 1<<maxPoolClass+1 {
+		t.Fatal("oversized GetBytes wrong length")
+	}
+	PutBytes(big) // dropped, not pooled; must not panic
+	// Foreign slices with non-class capacities are silently dropped.
+	PutBytes(make([]byte, 100))
+	PutFloats(make([]float64, 100))
+}
+
+// A released buffer must never be aliased by a message still in flight:
+// ownership passes to the receiver, and only the receiver releases. Every
+// sender fills its pooled buffer with a rank-specific pattern; the
+// receiver verifies the pattern before releasing. Run under -race this
+// also proves the pool introduces no unsynchronized reuse: a buffer that
+// were recycled while still queued would be written by the next sender
+// while the receiver reads it, which the pattern check and the race
+// detector would both catch.
+func TestReleasedBufferNotAliasedByLiveMessage(t *testing.T) {
+	const ranks = 8
+	const rounds = 200
+	err := Run(ranks, func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < (ranks-1)*rounds; i++ {
+				d, src, _ := c.Recv(AnySource, 7)
+				v := DecodeFloatsPooled(d)
+				for k, x := range v {
+					if want := float64(src*1000 + k); x != want {
+						t.Errorf("message from %d slot %d: got %v want %v", src, k, x, want)
+						break
+					}
+				}
+				PutFloats(v)
+				PutBytes(d) // receiver owns the buffer; release it here
+			}
+			return
+		}
+		rng := rand.New(rand.NewSource(int64(c.Rank())))
+		for i := 0; i < rounds; i++ {
+			n := 1 + rng.Intn(64)
+			vals := GetFloats(n)
+			for k := range vals {
+				vals[k] = float64(c.Rank()*1000 + k)
+			}
+			c.Send(0, 7, EncodeFloatsPooled(vals))
+			PutFloats(vals) // the floats were copied into the message; safe
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The pooled encode path must not allocate in steady state: buffer and
+// slice headers are both recycled.
+func BenchmarkPooledEncode(b *testing.B) {
+	vals := make([]float64, 256)
+	for i := range vals {
+		vals[i] = float64(i) * 1.5
+	}
+	// Warm the pools so the steady state is measured.
+	for i := 0; i < 16; i++ {
+		PutBytes(EncodeFloatsPooled(vals))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := EncodeFloatsPooled(vals)
+		PutBytes(buf)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		PutBytes(EncodeFloatsPooled(vals))
+	}); allocs > 0 {
+		b.Fatalf("pooled encode path allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// SendRef must account exactly the bytes the serialized payload would
+// occupy, keeping Messages and Bytes identical to the byte path.
+func TestSendRefAccountingMatchesByteSend(t *testing.T) {
+	payload := []float64{1, 2, 3, 4.5}
+	wire := len(EncodeFloats(payload))
+
+	byteWorld := NewWorld(2)
+	if err := byteWorld.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 3, EncodeFloats(payload))
+		} else {
+			c.Recv(0, 3)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	refWorld := NewWorld(2)
+	if err := refWorld.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.SendRef(1, 3, payload, wire)
+		} else {
+			ref, _, _ := c.RecvRef(0, 3)
+			got := ref.([]float64)
+			for i := range payload {
+				if got[i] != payload[i] {
+					t.Errorf("ref payload slot %d: %v != %v", i, got[i], payload[i])
+				}
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	bm, bb := byteWorld.Stats().Messages.Load(), byteWorld.Stats().Bytes.Load()
+	rm, rb := refWorld.Stats().Messages.Load(), refWorld.Stats().Bytes.Load()
+	if bm != rm || bb != rb {
+		t.Errorf("accounting differs: byte path %d msgs / %d bytes, ref path %d msgs / %d bytes",
+			bm, bb, rm, rb)
+	}
+}
+
+// A byte message received through RecvRef comes back as its []byte
+// payload, so a tag can mix both transports.
+func TestRecvRefReturnsBytesForByteMessages(t *testing.T) {
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 9, []byte{42})
+			return
+		}
+		ref, _, _ := c.RecvRef(0, 9)
+		b, ok := ref.([]byte)
+		if !ok || len(b) != 1 || b[0] != 42 {
+			t.Errorf("RecvRef of a byte message returned %v", ref)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -18,7 +18,7 @@ package project
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"pamg2d/internal/geom"
 	"pamg2d/internal/hull"
@@ -88,11 +88,39 @@ func New(pts []geom.Point) *Subdomain {
 }
 
 func sortX(v []Vertex) {
-	sort.Slice(v, func(i, j int) bool { return lessX(v[i], v[j]) })
+	slices.SortFunc(v, cmpX)
 }
 
 func sortY(v []Vertex) {
-	sort.Slice(v, func(i, j int) bool { return lessY(v[i], v[j]) })
+	slices.SortFunc(v, cmpY)
+}
+
+func cmpX(a, b Vertex) int {
+	switch {
+	case a.P.X < b.P.X:
+		return -1
+	case a.P.X > b.P.X:
+		return 1
+	case a.P.Y < b.P.Y:
+		return -1
+	case a.P.Y > b.P.Y:
+		return 1
+	}
+	return 0
+}
+
+func cmpY(a, b Vertex) int {
+	switch {
+	case a.P.Y < b.P.Y:
+		return -1
+	case a.P.Y > b.P.Y:
+		return 1
+	case a.P.X < b.P.X:
+		return -1
+	case a.P.X > b.P.X:
+		return 1
+	}
+	return 0
 }
 
 func lessX(a, b Vertex) bool {
@@ -192,13 +220,11 @@ func (s *Subdomain) SplitAxis(vertical bool) (left, right *Subdomain, path []Pat
 	for i, hi := range hullIdx {
 		hullVerts[i] = secondary[hi]
 	}
+	if len(hullVerts) > 1 {
+		path = make([]PathEdge, 0, len(hullVerts)-1)
+	}
 	for i := 0; i+1 < len(hullVerts); i++ {
 		path = append(path, PathEdge{hullVerts[i], hullVerts[i+1]})
-	}
-
-	onHull := make(map[int32]bool, len(hullVerts))
-	for _, v := range hullVerts {
-		onHull[v.ID] = true
 	}
 
 	isLeft := func(v Vertex) bool {
@@ -210,10 +236,13 @@ func (s *Subdomain) SplitAxis(vertical bool) (left, right *Subdomain, path []Pat
 
 	// Partition the primary array with a comparison-free split at the
 	// median index (the paper's memcpy optimization), and the secondary
-	// array by comparing against the median vertex.
+	// array by comparing against the median vertex. The secondary halves
+	// hold the same vertices as the primary halves, so their exact sizes
+	// are m and n-m.
 	leftPrimary := primary[:m]
 	rightPrimary := primary[m:]
-	var leftSecondary, rightSecondary []Vertex
+	leftSecondary := make([]Vertex, 0, m)
+	rightSecondary := make([]Vertex, 0, n-m)
 	for _, v := range secondary {
 		if isLeft(v) {
 			leftSecondary = append(leftSecondary, v)
@@ -223,7 +252,8 @@ func (s *Subdomain) SplitAxis(vertical bool) (left, right *Subdomain, path []Pat
 	}
 
 	// Duplicate hull vertices into the half they are missing from.
-	var addLeft, addRight []Vertex
+	addLeft := make([]Vertex, 0, len(hullVerts))
+	addRight := make([]Vertex, 0, len(hullVerts))
 	for _, v := range hullVerts {
 		if isLeft(v) {
 			addRight = append(addRight, v)
@@ -246,15 +276,15 @@ func (s *Subdomain) SplitAxis(vertical bool) (left, right *Subdomain, path []Pat
 	}
 
 	if vertical {
-		left.XS = mergeSorted(leftPrimary, addLeft, lessX)
-		right.XS = mergeSorted(rightPrimary, addRight, lessX)
-		left.YS = mergeSorted(leftSecondary, addLeft, lessY)
-		right.YS = mergeSorted(rightSecondary, addRight, lessY)
+		left.XS = mergeSorted(leftPrimary, addLeft, cmpX)
+		right.XS = mergeSorted(rightPrimary, addRight, cmpX)
+		left.YS = mergeSorted(leftSecondary, addLeft, cmpY)
+		right.YS = mergeSorted(rightSecondary, addRight, cmpY)
 	} else {
-		left.YS = mergeSorted(leftPrimary, addLeft, lessY)
-		right.YS = mergeSorted(rightPrimary, addRight, lessY)
-		left.XS = mergeSorted(leftSecondary, addLeft, lessX)
-		right.XS = mergeSorted(rightSecondary, addRight, lessX)
+		left.YS = mergeSorted(leftPrimary, addLeft, cmpY)
+		right.YS = mergeSorted(rightPrimary, addRight, cmpY)
+		left.XS = mergeSorted(leftSecondary, addLeft, cmpX)
+		right.XS = mergeSorted(rightSecondary, addRight, cmpX)
 	}
 	return left, right, path
 }
@@ -273,7 +303,15 @@ func fixTies(flat []geom.Point, verts []Vertex) {
 			for k := range idx {
 				idx[k] = i + k
 			}
-			sort.Slice(idx, func(a, b int) bool { return flat[idx[a]].Y < flat[idx[b]].Y })
+			slices.SortFunc(idx, func(a, b int) int {
+				switch {
+				case flat[a].Y < flat[b].Y:
+					return -1
+				case flat[a].Y > flat[b].Y:
+					return 1
+				}
+				return 0
+			})
 			tmpF := make([]geom.Point, j-i)
 			tmpV := make([]Vertex, j-i)
 			for k, id := range idx {
@@ -287,31 +325,30 @@ func fixTies(flat []geom.Point, verts []Vertex) {
 	}
 }
 
-// mergeSorted merges a sorted base slice with a small sorted-on-demand
-// extras slice in linear time.
-func mergeSorted(base, extras []Vertex, less func(a, b Vertex) bool) []Vertex {
+// mergeSorted merges a sorted base slice with a small extras slice in
+// linear time. extras is sorted in place (callers pass scratch that every
+// merge re-sorts for its own order, so no defensive copy is needed).
+func mergeSorted(base, extras []Vertex, cmp func(a, b Vertex) int) []Vertex {
 	if len(extras) == 0 {
 		// Reuse the parent's storage (the paper reuses the original
 		// subdomain's allocation for the left half); the parent is dead
 		// after the split.
 		return base
 	}
-	ex := make([]Vertex, len(extras))
-	copy(ex, extras)
-	sort.Slice(ex, func(i, j int) bool { return less(ex[i], ex[j]) })
-	out := make([]Vertex, 0, len(base)+len(ex))
+	slices.SortFunc(extras, cmp)
+	out := make([]Vertex, 0, len(base)+len(extras))
 	i, j := 0, 0
-	for i < len(base) && j < len(ex) {
-		if less(base[i], ex[j]) {
+	for i < len(base) && j < len(extras) {
+		if cmp(base[i], extras[j]) < 0 {
 			out = append(out, base[i])
 			i++
 		} else {
-			out = append(out, ex[j])
+			out = append(out, extras[j])
 			j++
 		}
 	}
 	out = append(out, base[i:]...)
-	out = append(out, ex[j:]...)
+	out = append(out, extras[j:]...)
 	return out
 }
 
