@@ -5,18 +5,28 @@
 // performance change records the before/after pair next to the code that
 // caused it.
 //
+// With -guard the command additionally compares the fresh
+// PushButton/1-ranks measurement against the file's most recent entry and
+// fails if allocations grew beyond noise, so a refactor that is supposed
+// to be allocation-neutral proves it in CI. -timeout bounds the whole
+// report run, and Ctrl-C aborts the in-flight benchmark cleanly.
+//
 // Usage:
 //
 //	go run ./cmd/benchreport -label after-arena [-o BENCH_2026-08-05.json]
+//	go run ./cmd/benchreport -label refactor -guard -o BENCH_2026-08-05.json
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"testing"
 	"time"
 
@@ -49,22 +59,31 @@ type report struct {
 }
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	label := fs.String("label", "", "label for this entry (required; e.g. seed, after-arena)")
 	out := fs.String("o", "", "trajectory file (default BENCH_<today>.json)")
 	benchtime := fs.Duration("benchtime", time.Second, "minimum run time per benchmark")
+	guard := fs.Bool("guard", false, "fail if PushButton/1-ranks allocations regress vs the file's last entry")
+	timeout := fs.Duration("timeout", 0, "abort the whole report after this duration (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *label == "" {
 		return errors.New("-label is required")
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	path := *out
 	if path == "" {
@@ -82,7 +101,7 @@ func run(args []string) error {
 	for _, ranks := range []int{1, 2, 4} {
 		name := fmt.Sprintf("PushButton/%d-ranks", ranks)
 		fmt.Fprintf(os.Stderr, "running %s...\n", name)
-		r, err := runPushButton(ranks, *benchtime)
+		r, err := runPushButton(ctx, ranks, *benchtime)
 		if err != nil {
 			return err
 		}
@@ -103,6 +122,10 @@ func run(args []string) error {
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return err
 	}
+	guardErr := error(nil)
+	if *guard {
+		guardErr = checkGuard(&rep, e)
+	}
 	rep.Entries = append(rep.Entries, e)
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
@@ -116,19 +139,62 @@ func run(args []string) error {
 		fmt.Printf("%-24s %12d ns/op %12d B/op %8d allocs/op\n",
 			name, br.NsPerOp, br.BytesPerOp, br.AllocsPerOp)
 	}
+	return guardErr
+}
+
+// guardBench is the benchmark the allocation-neutrality guard watches: the
+// single-rank pipeline, where every allocation is the pipeline's own.
+const guardBench = "PushButton/1-ranks"
+
+// checkGuard compares the fresh measurement of guardBench against the most
+// recent prior entry that recorded it. Wall time is too noisy to gate on,
+// but allocation counts are near-deterministic, so the guard fails when
+// bytes/op or allocs/op grow by more than 10% plus a small absolute slack.
+func checkGuard(rep *report, e entry) error {
+	cur, ok := e.Benchmarks[guardBench]
+	if !ok {
+		return fmt.Errorf("guard: entry has no %s measurement", guardBench)
+	}
+	for i := len(rep.Entries) - 1; i >= 0; i-- {
+		prev, ok := rep.Entries[i].Benchmarks[guardBench]
+		if !ok {
+			continue
+		}
+		label := rep.Entries[i].Label
+		if err := neutral(label, "allocs/op", prev.AllocsPerOp, cur.AllocsPerOp); err != nil {
+			return err
+		}
+		if err := neutral(label, "B/op", prev.BytesPerOp, cur.BytesPerOp); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "guard: %s allocation-neutral vs %q (%d B/op, %d allocs/op)\n",
+			guardBench, label, cur.BytesPerOp, cur.AllocsPerOp)
+		return nil
+	}
+	return fmt.Errorf("guard: no prior %s entry to compare against", guardBench)
+}
+
+func neutral(label, what string, prev, cur int64) error {
+	limit := prev + prev/10 + 16
+	if cur > limit {
+		return fmt.Errorf("guard: %s %s regressed vs %q: %d -> %d (limit %d)",
+			guardBench, what, label, prev, cur, limit)
+	}
 	return nil
 }
 
 // runPushButton measures the full pipeline at the given rank count on the
 // shared scaled-down configuration (identical to BenchmarkPushButton).
-func runPushButton(ranks int, benchtime time.Duration) (benchResult, error) {
+// A canceled ctx aborts between (and, via the stage engine, inside)
+// iterations.
+func runPushButton(ctx context.Context, ranks int, benchtime time.Duration) (benchResult, error) {
 	cfg := benchcfg.PushButton()
 	cfg.Ranks = ranks
 	var genErr error
 	r := bench(benchtime, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := core.Generate(cfg); err != nil {
+			if _, err := core.GenerateContext(ctx, cfg); err != nil {
 				genErr = err
 				b.FailNow()
 			}

@@ -4,22 +4,34 @@
 // interaction and writes Triangle-format ASCII, compact binary, or VTK
 // output.
 //
+// A run is bounded and interruptible: -timeout caps the wall time, and
+// Ctrl-C (SIGINT/SIGTERM) tears the pipeline down cleanly — the simulated
+// MPI worlds close, the worker goroutines drain, and the command exits
+// with an error naming the interrupted stage instead of leaving a partial
+// mesh.
+//
 // Usage:
 //
 //	meshgen -geometry naca0012 -n 128 -ranks 8 -o mesh.txt
 //	meshgen -geometry 30p30n -n 96 -ranks 16 -format binary -o mesh.bin
 //	meshgen -input wing.poly -format vtk -o wing.vtk
+//	meshgen -n 256 -timeout 2m -o mesh.txt
 package main
 
 import (
+	"context"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("meshgen: ")
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		log.Fatal(err)
 	}
 }

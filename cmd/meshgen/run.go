@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -15,8 +16,9 @@ import (
 )
 
 // run executes the meshgen CLI with explicit argument and output streams
-// so the command is testable end to end.
-func run(args []string, stdout, stderr io.Writer) error {
+// so the command is testable end to end. ctx bounds the whole run: main
+// cancels it on SIGINT/SIGTERM, and -timeout adds a deadline on top.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("meshgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -38,9 +40,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		quiet     = fs.Bool("q", false, "suppress statistics")
 		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf   = fs.String("memprofile", "", "write a pprof heap profile to this file")
+		timeout   = fs.Duration("timeout", 0, "abort generation after this duration (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	if *cpuProf != "" {
@@ -128,7 +136,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown kernel %q", *kernel)
 	}
 
-	res, err := core.Generate(cfg)
+	res, err := core.GenerateContext(ctx, cfg)
 	if err != nil {
 		return err
 	}

@@ -2,10 +2,14 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"pamg2d/internal/core"
 )
 
 func fastArgs(extra ...string) []string {
@@ -18,7 +22,7 @@ func fastArgs(extra ...string) []string {
 
 func TestRunASCII(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run(fastArgs(), &out, &errb); err != nil {
+	if err := run(context.Background(), fastArgs(), &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 	if out.Len() == 0 {
@@ -31,7 +35,7 @@ func TestRunASCII(t *testing.T) {
 
 func TestRunQuietSuppressesStats(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run(fastArgs("-q"), &out, &errb); err != nil {
+	if err := run(context.Background(), fastArgs("-q"), &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 	if errb.Len() != 0 {
@@ -42,7 +46,7 @@ func TestRunQuietSuppressesStats(t *testing.T) {
 func TestRunVTKAndBinary(t *testing.T) {
 	for _, format := range []string{"vtk", "binary"} {
 		var out, errb bytes.Buffer
-		if err := run(fastArgs("-q", "-format", format), &out, &errb); err != nil {
+		if err := run(context.Background(), fastArgs("-q", "-format", format), &out, &errb); err != nil {
 			t.Fatalf("%s: %v", format, err)
 		}
 		if out.Len() == 0 {
@@ -56,7 +60,7 @@ func TestRunPolyRoundTrip(t *testing.T) {
 	poly := filepath.Join(dir, "g.poly")
 	mesh1 := filepath.Join(dir, "m1.txt")
 	var out, errb bytes.Buffer
-	if err := run(fastArgs("-q", "-write-poly", poly, "-o", mesh1), &out, &errb); err != nil {
+	if err := run(context.Background(), fastArgs("-q", "-write-poly", poly, "-o", mesh1), &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(poly); err != nil {
@@ -64,7 +68,7 @@ func TestRunPolyRoundTrip(t *testing.T) {
 	}
 	// Regenerate from the exported geometry.
 	mesh2 := filepath.Join(dir, "m2.txt")
-	if err := run(fastArgs("-q", "-input", poly, "-o", mesh2), &out, &errb); err != nil {
+	if err := run(context.Background(), fastArgs("-q", "-input", poly, "-o", mesh2), &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 	s1, err := os.Stat(mesh1)
@@ -84,7 +88,7 @@ func TestRunPolyRoundTrip(t *testing.T) {
 
 func TestRunFrontKernel(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run(fastArgs("-q", "-kernel", "front"), &out, &errb); err != nil {
+	if err := run(context.Background(), fastArgs("-q", "-kernel", "front"), &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 	if out.Len() == 0 {
@@ -94,19 +98,53 @@ func TestRunFrontKernel(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-geometry", "bogus"}, &out, &errb); err == nil {
+	if err := run(context.Background(), []string{"-geometry", "bogus"}, &out, &errb); err == nil {
 		t.Error("bogus geometry must fail")
 	}
-	if err := run(fastArgs("-format", "bogus"), &out, &errb); err == nil {
+	if err := run(context.Background(), fastArgs("-format", "bogus"), &out, &errb); err == nil {
 		t.Error("bogus format must fail")
 	}
-	if err := run(fastArgs("-kernel", "bogus"), &out, &errb); err == nil {
+	if err := run(context.Background(), fastArgs("-kernel", "bogus"), &out, &errb); err == nil {
 		t.Error("bogus kernel must fail")
 	}
-	if err := run([]string{"-input", "/nonexistent/file.poly"}, &out, &errb); err == nil {
+	if err := run(context.Background(), []string{"-input", "/nonexistent/file.poly"}, &out, &errb); err == nil {
 		t.Error("missing input file must fail")
 	}
-	if err := run([]string{"-bad-flag"}, &out, &errb); err == nil {
+	if err := run(context.Background(), []string{"-bad-flag"}, &out, &errb); err == nil {
 		t.Error("unknown flag must fail")
+	}
+}
+
+// A -timeout too short for any real work must abort the pipeline cleanly:
+// no mesh output, and the error names the interrupted stage.
+func TestRunTimeout(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run(context.Background(), fastArgs("-q", "-timeout", "1ns"), &out, &errb)
+	if err == nil {
+		t.Fatal("a 1ns timeout must abort the run")
+	}
+	var pe *core.PhaseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("timeout error is %T (%v), want *core.PhaseError", err, err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("timeout error does not wrap context.DeadlineExceeded: %v", err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("aborted run still wrote %d bytes of mesh", out.Len())
+	}
+}
+
+// An already-canceled parent context (the Ctrl-C path) aborts the same way.
+func TestRunCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errb bytes.Buffer
+	err := run(ctx, fastArgs("-q"), &out, &errb)
+	if err == nil {
+		t.Fatal("a canceled context must abort the run")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error does not wrap context.Canceled: %v", err)
 	}
 }

@@ -74,6 +74,12 @@ type Config struct {
 	// decomposition silently falls back to a single task when the
 	// boundary-layer outer boundary is not a single simple loop.
 	TransitionSectors int
+
+	// testTaskHook, when set (tests only), runs at the start of every
+	// distributed task's execution with the stage name and task kind; a
+	// non-nil return fails the task on the rank executing it. The stage
+	// engine tests use it to cancel or fail mid-phase deterministically.
+	testTaskHook func(stage string, kind int) error
 }
 
 // Kernel identifies a sequential meshing kernel for the inviscid regions.
@@ -146,8 +152,12 @@ type Stats struct {
 	BLLayerStats     []blayer.Stats
 	Tasks            []TaskMeasure
 	LoadBalance      []loadbal.Stats
-	Times            PhaseTimes
-	Allocs           PhaseAllocs
-	Messages         int64
-	BytesOnWire      int64
+	// Stages is the ordered per-stage record written by the engine's
+	// stats hook; the PhaseTimes/PhaseAllocs aggregates below are derived
+	// from it (the two boundary-layer stages sum into Boundary).
+	Stages      []StageStat
+	Times       PhaseTimes
+	Allocs      PhaseAllocs
+	Messages    int64
+	BytesOnWire int64
 }

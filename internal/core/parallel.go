@@ -1,12 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"pamg2d/internal/blayer"
-	"pamg2d/internal/decouple"
 	"pamg2d/internal/delaunay"
 	"pamg2d/internal/front"
 	"pamg2d/internal/geom"
@@ -67,6 +67,9 @@ type taskCtx struct {
 	size   sizing.Func
 	kernel Kernel
 	bl     blayer.Params
+	// hook, when set (tests only), runs before each task's kind dispatch;
+	// a non-nil return fails the task on the executing rank.
+	hook func(kind int) error
 }
 
 // processTask executes a task's value vector and returns the produced
@@ -85,6 +88,11 @@ func processTaskCtx(vals []float64, ctx taskCtx) ([]float64, error) {
 	kernel := ctx.kernel
 	if len(vals) == 0 {
 		return nil, fmt.Errorf("core: empty task payload")
+	}
+	if ctx.hook != nil {
+		if err := ctx.hook(int(vals[0])); err != nil {
+			return nil, err
+		}
 	}
 	switch int(vals[0]) {
 	case kindRayBatch:
@@ -199,13 +207,25 @@ type taskResult struct {
 
 func (r *taskResult) wireBytes() int { return 8 * (1 + len(r.tris)) }
 
-// runPhase executes the given tasks under the load balancer on a fresh
+// runDistributed is the pipeline's single distributed-phase executor: it
+// runs the given tasks under the work-stealing load balancer on a fresh
 // world and returns each task's result floats (indexed by task ID) as
 // collected at the root. Tasks and results move through the in-process
 // fabric by reference; every transfer is accounted at the size its
-// serialized form would occupy, so Stats.Messages and Stats.BytesOnWire
-// match a byte-serialized run exactly.
-func runPhase(cfg Config, tasks []loadbal.Task, ctx taskCtx, st *Stats) ([][]float64, error) {
+// serialized form would occupy, so the wire statistics match a
+// byte-serialized run exactly.
+//
+// Cancellation of rc's context tears the world down mid-phase: in-flight
+// tasks finish, both balancer goroutines on every rank drain, and the
+// call returns a *PhaseError carrying the stage name and the context's
+// cause. A task or rank failure is returned the same way, attributed to
+// the rank it occurred on.
+func runDistributed(rc *RunCtx, stage string, tasks []loadbal.Task, tctx taskCtx) ([][]float64, error) {
+	cfg := rc.cfg
+	if cfg.testTaskHook != nil {
+		hook := cfg.testTaskHook
+		tctx.hook = func(kind int) error { return hook(stage, kind) }
+	}
 	world := mpi.NewWorld(cfg.Ranks)
 	win := world.NewWindow(cfg.Ranks)
 
@@ -221,22 +241,22 @@ func runPhase(cfg Config, tasks []loadbal.Task, ctx taskCtx, st *Stats) ([][]flo
 	var mu sync.Mutex
 	measures := make([]TaskMeasure, len(tasks))
 	balStats := make([]loadbal.Stats, cfg.Ranks)
-	var firstErr error
+	var taskErr *PhaseError
 
 	opt := loadbal.DefaultOptions(totalCost(tasks), cfg.Ranks)
-	err := world.Run(func(c *mpi.Comm) {
-		bs := loadbal.Run(c, win, initial[c.Rank()], len(tasks), opt, func(task loadbal.Task) {
+	err := world.RunCtx(rc.ctx, func(c *mpi.Comm) error {
+		bs, err := loadbal.Run(rc.ctx, c, win, initial[c.Rank()], len(tasks), opt, func(task loadbal.Task) {
 			vals := task.Vals
 			if vals == nil && task.Payload != nil {
 				vals = mpi.DecodeFloats(task.Payload)
 			}
 			t0 := time.Now()
-			tris, err := processTaskCtx(vals, ctx)
+			tris, perr := processTaskCtx(vals, tctx)
 			dt := time.Since(t0)
-			if err != nil {
+			if perr != nil {
 				mu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("task %d: %w", task.ID, err)
+				if taskErr == nil {
+					taskErr = &PhaseError{Stage: stage, Rank: c.Rank(), Err: fmt.Errorf("task %d: %w", task.ID, perr)}
 				}
 				mu.Unlock()
 				tris = nil
@@ -250,28 +270,40 @@ func runPhase(cfg Config, tasks []loadbal.Task, ctx taskCtx, st *Stats) ([][]flo
 			}
 			mu.Unlock()
 			// Ship the result to the root ahead of the completion message,
-			// by reference but accounted at its serialized size.
+			// by reference but accounted at its serialized size. A failed
+			// send means the world is tearing down; the cause surfaces from
+			// the balancer return and the context check below.
 			res := &taskResult{id: task.ID, tris: tris}
-			c.SendRef(0, tagResult, res, res.wireBytes())
+			_ = c.SendRef(0, tagResult, res, res.wireBytes())
 		})
 		mu.Lock()
 		balStats[c.Rank()] = bs
 		mu.Unlock()
+		return err
 	})
-	if err != nil {
-		return nil, err
+	// Error precedence: cancellation first (it is the root cause of any
+	// rank errors it provoked), then rank/world failures, then the first
+	// task-processing failure.
+	if rc.ctx.Err() != nil {
+		return nil, &PhaseError{Stage: stage, Rank: -1, Err: context.Cause(rc.ctx)}
 	}
-	if firstErr != nil {
-		return nil, firstErr
+	if err != nil {
+		return nil, phaseError(stage, err)
+	}
+	mu.Lock()
+	firstTaskErr := taskErr
+	mu.Unlock()
+	if firstTaskErr != nil {
+		return nil, firstTaskErr
 	}
 
 	// Drain the results at the root (they were all enqueued before the
 	// balancer's termination).
 	results := make([][]float64, len(tasks))
 	collected := 0
-	err = world.Run(func(c *mpi.Comm) {
+	err = world.RunCtx(rc.ctx, func(c *mpi.Comm) error {
 		if c.Rank() != 0 {
-			return
+			return nil
 		}
 		for collected < len(tasks) {
 			ref, _, _, ok := c.TryRecvRef(mpi.AnySource, tagResult)
@@ -287,18 +319,22 @@ func runPhase(cfg Config, tasks []loadbal.Task, ctx taskCtx, st *Stats) ([][]flo
 			}
 			collected++
 		}
+		return nil
 	})
+	if rc.ctx.Err() != nil {
+		return nil, &PhaseError{Stage: stage, Rank: -1, Err: context.Cause(rc.ctx)}
+	}
 	if err != nil {
-		return nil, err
+		return nil, phaseError(stage, err)
 	}
 	if collected != len(tasks) {
-		return nil, fmt.Errorf("core: collected %d of %d task results", collected, len(tasks))
+		return nil, &PhaseError{Stage: stage, Rank: -1, Err: fmt.Errorf("collected %d of %d task results", collected, len(tasks))}
 	}
 
-	st.Tasks = append(st.Tasks, measures...)
-	st.LoadBalance = append(st.LoadBalance, balStats...)
-	st.Messages += world.Stats().Messages.Load()
-	st.BytesOnWire += world.Stats().Bytes.Load()
+	rc.stats.Tasks = append(rc.stats.Tasks, measures...)
+	rc.stats.LoadBalance = append(rc.stats.LoadBalance, balStats...)
+	rc.wireMsgs += world.Stats().Messages.Load()
+	rc.wireBytes += world.Stats().Bytes.Load()
 	return results, nil
 }
 
@@ -308,169 +344,4 @@ func totalCost(tasks []loadbal.Task) float64 {
 		s += t.Cost
 	}
 	return s
-}
-
-// runRayInsertionPhase distributes boundary-layer point insertion across
-// the ranks: rays are independent once trimmed, so batches of rays are
-// balanced like any other task and only the coordinates return to the
-// root (the paper's section II.C communication argument).
-func runRayInsertionPhase(cfg Config, layers []*blayer.Layer, frame geom.BBox, st *Stats) error {
-	type batchRef struct {
-		layer    int
-		from, to int
-		counts   []int
-	}
-	var tasks []loadbal.Task
-	var refs []batchRef
-	batchSize := 64
-	for li, l := range layers {
-		counts := blayer.PlanCounts(l, cfg.BL)
-		for from := 0; from < len(l.Rays); from += batchSize {
-			to := from + batchSize
-			if to > len(l.Rays) {
-				to = len(l.Rays)
-			}
-			vals := make([]float64, 0, 2+10*(to-from))
-			vals = append(vals, kindRayBatch, float64(to-from))
-			cost := 0.0
-			for i := from; i < to; i++ {
-				r := l.Rays[i]
-				fan := 0.0
-				if r.Fan {
-					fan = 1
-				}
-				vals = append(vals, r.Origin.X, r.Origin.Y, r.Dir.X, r.Dir.Y,
-					r.MaxLen, r.Tangential, fan, r.FanBisector.X, r.FanBisector.Y,
-					float64(counts[i]))
-				cost += float64(counts[i])
-			}
-			tasks = append(tasks, loadbal.Task{
-				ID:            int32(len(tasks)),
-				Cost:          cost + 1,
-				BoundaryLayer: true,
-				Vals:          vals,
-			})
-			refs = append(refs, batchRef{layer: li, from: from, to: to, counts: counts[from:to]})
-		}
-	}
-	results, err := runPhase(cfg, tasks, taskCtx{frame: frame, bl: cfg.BL}, st)
-	if err != nil {
-		return err
-	}
-	// Reassemble each layer's per-ray point lists from the gathered
-	// coordinates.
-	perLayer := make([][][]geom.Point, len(layers))
-	for li, l := range layers {
-		perLayer[li] = make([][]geom.Point, len(l.Rays))
-	}
-	for ti, ref := range refs {
-		vals := results[ti]
-		off := 0
-		for i := ref.from; i < ref.to; i++ {
-			n := ref.counts[i-ref.from]
-			pts := make([]geom.Point, 0, n)
-			for k := 0; k < n; k++ {
-				pts = append(pts, geom.Pt(vals[off], vals[off+1]))
-				off += 2
-			}
-			perLayer[ref.layer][i] = pts
-		}
-		if off != len(vals) {
-			return fmt.Errorf("core: ray batch %d returned %d floats, consumed %d", ti, len(vals), off)
-		}
-	}
-	for li, l := range layers {
-		l.SetPoints(perLayer[li])
-	}
-	return nil
-}
-
-// runBoundaryLayerPhase decomposes the boundary-layer points and
-// triangulates the leaves in parallel (paper Figure 8).
-func runBoundaryLayerPhase(cfg Config, blPoints []geom.Point, frame geom.BBox, st *Stats) ([]float64, error) {
-	root := project.New(blPoints)
-	depth := 1
-	for 1<<depth < cfg.Ranks*cfg.SubdomainsPerRank {
-		depth++
-	}
-	leaves, _ := project.Decompose(root, project.Options{MinVerts: 16, MaxDepth: depth})
-	tasks := make([]loadbal.Task, len(leaves))
-	for i, leaf := range leaves {
-		leaf.DropYSorted()
-		tasks[i] = loadbal.Task{
-			ID:            int32(i),
-			Cost:          float64(leaf.Len()),
-			BoundaryLayer: true,
-			Vals:          blLeafVals(leaf),
-		}
-	}
-	results, err := runPhase(cfg, tasks, taskCtx{frame: frame}, st)
-	if err != nil {
-		return nil, err
-	}
-	var tris []float64
-	for _, r := range results {
-		tris = append(tris, r...)
-	}
-	return tris, nil
-}
-
-// runInviscidPhase refines the transition region and the decoupled
-// inviscid subdomains in parallel and returns the triangle floats plus the
-// transition and inviscid triangle counts.
-func runInviscidPhase(cfg Config, transIn delaunay.Input, nOuter int, regions []*decouple.Region, frame geom.BBox, size sizing.Func, st *Stats) ([]float64, int, int, error) {
-	var tasks []loadbal.Task
-
-	// Transition tasks: sector-decoupled when the geometry allows it.
-	want := cfg.TransitionSectors
-	if want == 0 {
-		want = cfg.Ranks * cfg.SubdomainsPerRank / 128
-		if want > 32 {
-			want = 32
-		}
-	}
-	var transInputs []delaunay.Input
-	if want > 1 {
-		if sec, ok := transitionSectors(transIn, nOuter, size, want); ok {
-			transInputs = sec
-		}
-	}
-	if transInputs == nil {
-		transInputs = []delaunay.Input{transIn}
-	}
-	for _, ti := range transInputs {
-		tasks = append(tasks, loadbal.Task{
-			ID:   int32(len(tasks)),
-			Cost: float64(len(ti.Points)) * 4,
-			Vals: regionTaskVals(kindTransition, ti.Points, ti.Segments, ti.Holes),
-		})
-	}
-	nTrans := len(tasks)
-	for _, r := range regions {
-		n := len(r.Border)
-		segs := make([][2]int32, n)
-		for k := 0; k < n; k++ {
-			segs[k] = [2]int32{int32(k), int32((k + 1) % n)}
-		}
-		tasks = append(tasks, loadbal.Task{
-			ID:   int32(len(tasks)),
-			Cost: r.Cost(size),
-			Vals: regionTaskVals(kindInviscid, r.Border, segs, nil),
-		})
-	}
-	results, err := runPhase(cfg, tasks, taskCtx{frame: frame, size: size, kernel: cfg.InviscidKernel}, st)
-	if err != nil {
-		return nil, 0, 0, err
-	}
-	var tris []float64
-	trans, inv := 0, 0
-	for i, r := range results {
-		tris = append(tris, r...)
-		if i < nTrans {
-			trans += len(r) / 6
-		} else {
-			inv += len(r) / 6
-		}
-	}
-	return tris, trans, inv, nil
 }

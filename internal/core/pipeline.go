@@ -1,10 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
-	"time"
 
 	"pamg2d/internal/blayer"
 	"pamg2d/internal/decouple"
@@ -21,19 +20,22 @@ type Result struct {
 	Stats Stats
 }
 
-// mallocCount reads the cumulative heap allocation counter; deltas between
-// phase boundaries feed Stats.Allocs.
-func mallocCount() uint64 {
-	var m runtime.MemStats
-	runtime.ReadMemStats(&m)
-	return m.Mallocs
-}
-
 // Generate runs the full push-button pipeline on cfg.Ranks simulated MPI
 // ranks and returns the merged, audited mesh.
 func Generate(cfg Config) (*Result, error) {
-	start := time.Now()
-	allocStart := mallocCount()
+	return GenerateContext(context.Background(), cfg)
+}
+
+// GenerateContext is Generate with cancellation: when ctx is canceled or
+// its deadline passes, the distributed phases tear their worlds down, the
+// worker goroutines drain, and the call returns a *PhaseError naming the
+// interrupted stage (wrapping the context's cause) instead of a mesh. All
+// failures, not just cancellation, surface as *PhaseError values
+// attributing the stage and — for worker-side failures — the rank.
+func GenerateContext(ctx context.Context, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Ranks < 1 {
 		cfg.Ranks = 1
 	}
@@ -44,132 +46,9 @@ func Generate(cfg Config) (*Result, error) {
 		cfg.NearBodyMargin = 0.25
 	}
 	res := &Result{}
-
-	// Phase 1: PSLG construction and validation.
-	t0 := time.Now()
-	a0 := allocStart
-	g, err := cfg.graph()
-	if err != nil {
+	rc := &RunCtx{ctx: ctx, cfg: cfg, stats: &res.Stats, res: res}
+	if err := rc.runStages(pipeline); err != nil {
 		return nil, err
-	}
-	res.Stats.SurfacePoints = g.NumPoints() - len(g.Farfield.Points)
-	res.Stats.Times.Validate = time.Since(t0)
-	a1 := mallocCount()
-	res.Stats.Allocs.Validate = a1 - a0
-
-	// Geometry frames are needed before the parallel phases.
-	ffBox := g.Farfield.BBox()
-
-	// Phase 2: anisotropic boundary layer. Ray construction and
-	// intersection resolution run at the root; point insertion along the
-	// resolved rays is distributed across the ranks, with only the
-	// coordinates gathered back (paper section II.C).
-	t0 = time.Now()
-	layers := blayer.GenerateRays(g, cfg.BL)
-	if err := runRayInsertionPhase(cfg, layers, ffBox, &res.Stats); err != nil {
-		return nil, err
-	}
-	var blPoints []geom.Point
-	surfaceSet := make(map[geom.Point]bool)
-	for _, l := range layers {
-		res.Stats.BLLayerStats = append(res.Stats.BLLayerStats, l.Stats)
-		blPoints = append(blPoints, l.AllPoints()...)
-		for _, p := range l.Surface.Points {
-			surfaceSet[p] = true
-		}
-	}
-	res.Stats.BoundaryLayerPts = len(blPoints)
-	res.Stats.Times.Boundary = time.Since(t0)
-	a2 := mallocCount()
-	res.Stats.Allocs.Boundary = a2 - a1
-	var surfacePts []geom.Point
-	for i := range g.Surfaces {
-		surfacePts = append(surfacePts, g.Surfaces[i].Points...)
-	}
-	grad := sizing.NewGraded(surfacePts, cfg.SurfaceH0, cfg.Gradation, cfg.HMax)
-	size := grad.Area
-	if cfg.CustomSizing != nil {
-		size = cfg.CustomSizing
-	}
-
-	blBox := geom.BBoxOf(blPoints)
-	d := cfg.NearBodyMargin * (blBox.Width() + blBox.Height()) / 2
-	nbBox := blBox.Inflate(d)
-	if nbBox.Min.X <= ffBox.Min.X || nbBox.Max.X >= ffBox.Max.X ||
-		nbBox.Min.Y <= ffBox.Min.Y || nbBox.Max.Y >= ffBox.Max.Y {
-		return nil, fmt.Errorf("core: near-body box %v not inside the far field %v; increase FarfieldChords", nbBox, ffBox)
-	}
-
-	// Phase 3 (parallel): triangulate the boundary layer via the
-	// projection-based decomposition.
-	t0 = time.Now()
-	blTris, err := runBoundaryLayerPhase(cfg, blPoints, ffBox, &res.Stats)
-	if err != nil {
-		return nil, err
-	}
-	res.Stats.Times.Decompose = time.Since(t0)
-	a3 := mallocCount()
-	res.Stats.Allocs.Decompose = a3 - a2
-
-	// Filter the merged Delaunay triangulation down to the boundary-layer
-	// annuli: keep a triangle when its centroid lies inside some element's
-	// outer-border polygon but not inside the element surface itself.
-	blMesh := filterBoundaryLayer(blTris, layers, cfg.BL)
-	res.Stats.BLTriangles = blMesh.NumTriangles()
-
-	// Extract the outer boundary of the boundary-layer mesh: boundary
-	// edges whose endpoints are not both surface points.
-	outerPts, outerSegs := outerBoundary(blMesh, surfaceSet)
-	if len(outerSegs) == 0 {
-		return nil, fmt.Errorf("core: boundary-layer mesh has no outer boundary")
-	}
-
-	// Phase 4+5 (parallel): transition region plus decoupled inviscid
-	// subdomains under the load balancer.
-	t0 = time.Now()
-	transIn, err := transitionInput(g, outerPts, outerSegs, nbBox, size)
-	if err != nil {
-		return nil, err
-	}
-	quads, err := decouple.InitialQuadrants(nbBox, ffBox, size)
-	if err != nil {
-		return nil, err
-	}
-	regions := decouple.Decouple(quads[:], size, cfg.Ranks*cfg.SubdomainsPerRank)
-
-	isoTris, transCount, invCount, err := runInviscidPhase(cfg, transIn, len(outerPts), regions, ffBox, size, &res.Stats)
-	if err != nil {
-		return nil, err
-	}
-	res.Stats.TransitionTris = transCount
-	res.Stats.InviscidTris = invCount
-	res.Stats.Times.Parallel = time.Since(t0)
-	a4 := mallocCount()
-	res.Stats.Allocs.Parallel = a4 - a3
-
-	// Final merge.
-	t0 = time.Now()
-	b := mesh.NewBuilder()
-	for _, tr := range blMesh.Triangles {
-		b.AddTriangle(blMesh.Points[tr[0]], blMesh.Points[tr[1]], blMesh.Points[tr[2]])
-	}
-	for i := 0; i+5 < len(isoTris); i += 6 {
-		b.AddTriangle(
-			geom.Pt(isoTris[i], isoTris[i+1]),
-			geom.Pt(isoTris[i+2], isoTris[i+3]),
-			geom.Pt(isoTris[i+4], isoTris[i+5]),
-		)
-	}
-	res.Mesh = b.Mesh()
-	res.Stats.TotalTriangles = res.Mesh.NumTriangles()
-	res.Stats.Times.Merge = time.Since(t0)
-	res.Stats.Times.Total = time.Since(start)
-	a5 := mallocCount()
-	res.Stats.Allocs.Merge = a5 - a4
-	res.Stats.Allocs.Total = a5 - allocStart
-
-	if err := res.Mesh.Audit(); err != nil {
-		return nil, fmt.Errorf("core: final mesh failed audit: %w", err)
 	}
 	return res, nil
 }

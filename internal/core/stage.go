@@ -1,0 +1,233 @@
+package core
+
+// The stage-graph engine. The pipeline's phases are first-class Stage
+// values executed in sequence by runStages, which owns all per-stage
+// instrumentation (wall time, heap allocation delta, wire traffic) through
+// the single recordStage hook — stages themselves contain no bookkeeping.
+// A context.Context threads through every stage; cancellation between or
+// during stages surfaces as a *PhaseError naming the interrupted stage,
+// and a worker-rank failure inside a distributed stage is attributed to
+// its rank. This is the seam future work plugs into: async/overlapped
+// stages and alternative transports slot in as Stage implementations
+// without touching Generate.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"pamg2d/internal/blayer"
+	"pamg2d/internal/geom"
+	"pamg2d/internal/loadbal"
+	"pamg2d/internal/mesh"
+	"pamg2d/internal/mpi"
+	"pamg2d/internal/pslg"
+	"pamg2d/internal/sizing"
+)
+
+// Stage names, in pipeline order. They key the StageStat records and the
+// Stage/PhaseError attribution.
+const (
+	StageValidate        = "validate"
+	StageRays            = "boundary-rays"
+	StageRayInsertion    = "ray-insertion"
+	StageBLTriangulation = "bl-triangulation"
+	StageInviscid        = "inviscid"
+	StageMerge           = "merge"
+)
+
+// Stage is one pipeline phase: a named unit of work over the shared run
+// state. Stages are stateless values; all mutable state lives in the
+// RunCtx, so the same stage list serves every Generate call.
+type Stage interface {
+	Name() string
+	Run(rc *RunCtx) error
+}
+
+// StageStat is one stage's execution record, written by the engine's stats
+// hook: wall time, heap allocation delta, and the messages/bytes its
+// distributed execution put on the (simulated) wire.
+type StageStat struct {
+	Name        string
+	Wall        time.Duration
+	Allocs      uint64
+	Messages    int64
+	BytesOnWire int64
+}
+
+// PhaseError attributes a pipeline failure to the stage it occurred in
+// and, for failures inside a distributed phase, the rank it occurred on
+// (Rank is -1 when the failure is not rank-attributable, e.g. root-side
+// preparation or cancellation). It wraps the underlying cause, so
+// errors.Is(err, context.Canceled) and friends see through it.
+type PhaseError struct {
+	Stage string
+	Rank  int
+	Err   error
+}
+
+func (e *PhaseError) Error() string {
+	if e.Rank >= 0 {
+		return fmt.Sprintf("core: stage %s: rank %d: %v", e.Stage, e.Rank, e.Err)
+	}
+	return fmt.Sprintf("core: stage %s: %v", e.Stage, e.Err)
+}
+
+func (e *PhaseError) Unwrap() error { return e.Err }
+
+// phaseError wraps err with the stage name, pulling the rank out of an
+// mpi.RankError when the failure is rank-attributed. An error that is
+// already a *PhaseError passes through unchanged.
+func phaseError(stage string, err error) *PhaseError {
+	var pe *PhaseError
+	if errors.As(err, &pe) {
+		return pe
+	}
+	var re *mpi.RankError
+	if errors.As(err, &re) {
+		return &PhaseError{Stage: stage, Rank: re.Rank, Err: re.Err}
+	}
+	return &PhaseError{Stage: stage, Rank: -1, Err: err}
+}
+
+// RunCtx is the shared state of one pipeline run: the context and config
+// in, the stats and result out, and the intermediate products each stage
+// leaves for its successors.
+type RunCtx struct {
+	ctx   context.Context
+	cfg   Config
+	stats *Stats
+	res   *Result
+
+	// Intermediate pipeline state, in production order.
+	g          *pslg.Graph      // validate
+	ffBox      geom.BBox        // validate: far-field frame
+	layers     []*blayer.Layer  // boundary-rays
+	blPoints   []geom.Point     // ray-insertion
+	surfaceSet map[geom.Point]bool
+	blMesh     *mesh.Mesh   // bl-triangulation
+	size       sizing.Func  // bl-triangulation
+	nbBox      geom.BBox    // bl-triangulation: near-body box
+	outerPts   []geom.Point // bl-triangulation: BL outer boundary
+	outerSegs  [][2]int32
+	isoTris    []float64 // inviscid: transition + inviscid triangles
+
+	// Wire counters for the stage in flight, reset by the engine around
+	// each stage and folded into the stats by recordStage.
+	wireMsgs  int64
+	wireBytes int64
+}
+
+// Context returns the run's cancellation context.
+func (rc *RunCtx) Context() context.Context { return rc.ctx }
+
+// mallocCount reads the cumulative heap allocation counter; deltas between
+// stage boundaries feed the StageStat records.
+func mallocCount() uint64 {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.Mallocs
+}
+
+// runStages executes the stage list in order. It is the only place in the
+// pipeline that measures anything: each stage's wall time, allocation
+// delta and wire traffic pass through the recordStage hook, and every
+// failure leaves as a *PhaseError naming the stage. The context is checked
+// before each stage so cancellation between stages costs nothing.
+func (rc *RunCtx) runStages(stages []Stage) error {
+	start := time.Now()
+	allocStart := mallocCount()
+	for _, s := range stages {
+		if rc.ctx.Err() != nil {
+			return &PhaseError{Stage: s.Name(), Rank: -1, Err: context.Cause(rc.ctx)}
+		}
+		t0 := time.Now()
+		a0 := mallocCount()
+		rc.wireMsgs, rc.wireBytes = 0, 0
+		err := s.Run(rc)
+		rc.stats.recordStage(StageStat{
+			Name:        s.Name(),
+			Wall:        time.Since(t0),
+			Allocs:      mallocCount() - a0,
+			Messages:    rc.wireMsgs,
+			BytesOnWire: rc.wireBytes,
+		})
+		if err != nil {
+			return phaseError(s.Name(), err)
+		}
+	}
+	rc.stats.Times.Total = time.Since(start)
+	rc.stats.Allocs.Total = mallocCount() - allocStart
+	return nil
+}
+
+// recordStage is the engine's single stats hook: every stage's measurement
+// lands here, both in the ordered Stages list and in the legacy per-phase
+// aggregates the performance model and CLI reports read (the two
+// boundary-layer stages sum into the Boundary bucket).
+func (st *Stats) recordStage(s StageStat) {
+	st.Stages = append(st.Stages, s)
+	st.Messages += s.Messages
+	st.BytesOnWire += s.BytesOnWire
+	switch s.Name {
+	case StageValidate:
+		st.Times.Validate += s.Wall
+		st.Allocs.Validate += s.Allocs
+	case StageRays, StageRayInsertion:
+		st.Times.Boundary += s.Wall
+		st.Allocs.Boundary += s.Allocs
+	case StageBLTriangulation:
+		st.Times.Decompose += s.Wall
+		st.Allocs.Decompose += s.Allocs
+	case StageInviscid:
+		st.Times.Parallel += s.Wall
+		st.Allocs.Parallel += s.Allocs
+	case StageMerge:
+		st.Times.Merge += s.Wall
+		st.Allocs.Merge += s.Allocs
+	}
+}
+
+// stageFunc adapts a plain function to the Stage interface for the
+// root-side (non-distributed) phases.
+type stageFunc struct {
+	name string
+	fn   func(*RunCtx) error
+}
+
+func (s stageFunc) Name() string         { return s.name }
+func (s stageFunc) Run(rc *RunCtx) error { return s.fn(rc) }
+
+// mergeFunc folds the collected per-task results (indexed by task ID) into
+// the run state at the root.
+type mergeFunc func(results [][]float64) error
+
+// prepareFunc builds a distributed stage's task list and shared task
+// context and returns the merge that will fold the results. Splitting
+// preparation (encoding) from merging is what lets one generic executor —
+// runDistributed — serve all three distributed phases.
+type prepareFunc func(rc *RunCtx) (tasks []loadbal.Task, tctx taskCtx, merge mergeFunc, err error)
+
+// distStage is a distributed phase: prepare encodes the tasks, the shared
+// runDistributed executor runs them under the load balancer, merge folds
+// the results back into the run state.
+type distStage struct {
+	name    string
+	prepare prepareFunc
+}
+
+func (s *distStage) Name() string { return s.name }
+
+func (s *distStage) Run(rc *RunCtx) error {
+	tasks, tctx, merge, err := s.prepare(rc)
+	if err != nil {
+		return err
+	}
+	results, err := runDistributed(rc, s.name, tasks, tctx)
+	if err != nil {
+		return err
+	}
+	return merge(results)
+}

@@ -1,0 +1,302 @@
+package core
+
+// The pipeline's stages. Root-side phases are stageFunc values; the three
+// distributed phases are distStage values whose prepare functions encode
+// the tasks and return the merge that folds the results back into the run
+// state. All of them read and write only the RunCtx.
+
+import (
+	"fmt"
+
+	"pamg2d/internal/blayer"
+	"pamg2d/internal/decouple"
+	"pamg2d/internal/delaunay"
+	"pamg2d/internal/geom"
+	"pamg2d/internal/loadbal"
+	"pamg2d/internal/mesh"
+	"pamg2d/internal/project"
+	"pamg2d/internal/sizing"
+)
+
+// pipeline is the push-button stage graph, in execution order. Stages are
+// stateless, so one shared list serves every run.
+var pipeline = []Stage{
+	stageFunc{StageValidate, runValidate},
+	stageFunc{StageRays, runRays},
+	&distStage{StageRayInsertion, prepareRayInsertion},
+	&distStage{StageBLTriangulation, prepareBLTriangulation},
+	&distStage{StageInviscid, prepareInviscid},
+	stageFunc{StageMerge, runMerge},
+}
+
+// runValidate builds and validates the PSLG (phase 1).
+func runValidate(rc *RunCtx) error {
+	g, err := rc.cfg.graph()
+	if err != nil {
+		return err
+	}
+	rc.g = g
+	rc.ffBox = g.Farfield.BBox()
+	rc.stats.SurfacePoints = g.NumPoints() - len(g.Farfield.Points)
+	return nil
+}
+
+// runRays constructs and resolves the boundary-layer rays at the root
+// (phase 2a); point insertion along them is the next, distributed, stage.
+func runRays(rc *RunCtx) error {
+	rc.layers = blayer.GenerateRays(rc.g, rc.cfg.BL)
+	return nil
+}
+
+// prepareRayInsertion distributes boundary-layer point insertion across
+// the ranks: rays are independent once trimmed, so batches of rays are
+// balanced like any other task and only the coordinates return to the
+// root (the paper's section II.C communication argument). The merge
+// reassembles each layer's per-ray point lists and gathers the
+// boundary-layer point set for the stages downstream.
+func prepareRayInsertion(rc *RunCtx) ([]loadbal.Task, taskCtx, mergeFunc, error) {
+	type batchRef struct {
+		layer    int
+		from, to int
+		counts   []int
+	}
+	cfg := rc.cfg
+	layers := rc.layers
+	var tasks []loadbal.Task
+	var refs []batchRef
+	batchSize := 64
+	for li, l := range layers {
+		counts := blayer.PlanCounts(l, cfg.BL)
+		for from := 0; from < len(l.Rays); from += batchSize {
+			to := from + batchSize
+			if to > len(l.Rays) {
+				to = len(l.Rays)
+			}
+			vals := make([]float64, 0, 2+10*(to-from))
+			vals = append(vals, kindRayBatch, float64(to-from))
+			cost := 0.0
+			for i := from; i < to; i++ {
+				r := l.Rays[i]
+				fan := 0.0
+				if r.Fan {
+					fan = 1
+				}
+				vals = append(vals, r.Origin.X, r.Origin.Y, r.Dir.X, r.Dir.Y,
+					r.MaxLen, r.Tangential, fan, r.FanBisector.X, r.FanBisector.Y,
+					float64(counts[i]))
+				cost += float64(counts[i])
+			}
+			tasks = append(tasks, loadbal.Task{
+				ID:            int32(len(tasks)),
+				Cost:          cost + 1,
+				BoundaryLayer: true,
+				Vals:          vals,
+			})
+			refs = append(refs, batchRef{layer: li, from: from, to: to, counts: counts[from:to]})
+		}
+	}
+	merge := func(results [][]float64) error {
+		// Reassemble each layer's per-ray point lists from the gathered
+		// coordinates.
+		perLayer := make([][][]geom.Point, len(layers))
+		for li, l := range layers {
+			perLayer[li] = make([][]geom.Point, len(l.Rays))
+		}
+		for ti, ref := range refs {
+			vals := results[ti]
+			off := 0
+			for i := ref.from; i < ref.to; i++ {
+				n := ref.counts[i-ref.from]
+				pts := make([]geom.Point, 0, n)
+				for k := 0; k < n; k++ {
+					pts = append(pts, geom.Pt(vals[off], vals[off+1]))
+					off += 2
+				}
+				perLayer[ref.layer][i] = pts
+			}
+			if off != len(vals) {
+				return fmt.Errorf("core: ray batch %d returned %d floats, consumed %d", ti, len(vals), off)
+			}
+		}
+		for li, l := range layers {
+			l.SetPoints(perLayer[li])
+		}
+		// Collect the inserted points and the surface point set the
+		// filtering and outer-boundary extraction need downstream.
+		var blPoints []geom.Point
+		surfaceSet := make(map[geom.Point]bool)
+		for _, l := range layers {
+			rc.stats.BLLayerStats = append(rc.stats.BLLayerStats, l.Stats)
+			blPoints = append(blPoints, l.AllPoints()...)
+			for _, p := range l.Surface.Points {
+				surfaceSet[p] = true
+			}
+		}
+		rc.blPoints = blPoints
+		rc.surfaceSet = surfaceSet
+		rc.stats.BoundaryLayerPts = len(blPoints)
+		return nil
+	}
+	return tasks, taskCtx{frame: rc.ffBox, bl: cfg.BL}, merge, nil
+}
+
+// prepareBLTriangulation resolves the sizing function and the near-body
+// box, then decomposes the boundary-layer points with the projection-based
+// decomposition and triangulates the leaves in parallel (paper Figure 8).
+// The merge filters the triangles down to the layer annuli and extracts
+// the mesh's outer boundary for the transition region.
+func prepareBLTriangulation(rc *RunCtx) ([]loadbal.Task, taskCtx, mergeFunc, error) {
+	cfg := rc.cfg
+	var surfacePts []geom.Point
+	for i := range rc.g.Surfaces {
+		surfacePts = append(surfacePts, rc.g.Surfaces[i].Points...)
+	}
+	grad := sizing.NewGraded(surfacePts, cfg.SurfaceH0, cfg.Gradation, cfg.HMax)
+	rc.size = grad.Area
+	if cfg.CustomSizing != nil {
+		rc.size = cfg.CustomSizing
+	}
+
+	blBox := geom.BBoxOf(rc.blPoints)
+	d := cfg.NearBodyMargin * (blBox.Width() + blBox.Height()) / 2
+	nbBox := blBox.Inflate(d)
+	if nbBox.Min.X <= rc.ffBox.Min.X || nbBox.Max.X >= rc.ffBox.Max.X ||
+		nbBox.Min.Y <= rc.ffBox.Min.Y || nbBox.Max.Y >= rc.ffBox.Max.Y {
+		return nil, taskCtx{}, nil, fmt.Errorf("core: near-body box %v not inside the far field %v; increase FarfieldChords", nbBox, rc.ffBox)
+	}
+	rc.nbBox = nbBox
+
+	root := project.New(rc.blPoints)
+	depth := 1
+	for 1<<depth < cfg.Ranks*cfg.SubdomainsPerRank {
+		depth++
+	}
+	leaves, _ := project.Decompose(root, project.Options{MinVerts: 16, MaxDepth: depth})
+	tasks := make([]loadbal.Task, len(leaves))
+	for i, leaf := range leaves {
+		leaf.DropYSorted()
+		tasks[i] = loadbal.Task{
+			ID:            int32(i),
+			Cost:          float64(leaf.Len()),
+			BoundaryLayer: true,
+			Vals:          blLeafVals(leaf),
+		}
+	}
+	merge := func(results [][]float64) error {
+		var tris []float64
+		for _, r := range results {
+			tris = append(tris, r...)
+		}
+		// Filter the merged Delaunay triangulation down to the
+		// boundary-layer annuli: keep a triangle when its centroid lies
+		// inside some element's outer-border polygon but not inside the
+		// element surface itself.
+		rc.blMesh = filterBoundaryLayer(tris, rc.layers, cfg.BL)
+		rc.stats.BLTriangles = rc.blMesh.NumTriangles()
+		// Extract the outer boundary of the boundary-layer mesh: boundary
+		// edges whose endpoints are not both surface points.
+		rc.outerPts, rc.outerSegs = outerBoundary(rc.blMesh, rc.surfaceSet)
+		if len(rc.outerSegs) == 0 {
+			return fmt.Errorf("core: boundary-layer mesh has no outer boundary")
+		}
+		return nil
+	}
+	return tasks, taskCtx{frame: rc.ffBox}, merge, nil
+}
+
+// prepareInviscid assembles the transition region between the boundary
+// layer's outer boundary and the near-body box (sector-decoupled when the
+// geometry allows it) plus the decoupled inviscid subdomains, all refined
+// in parallel under the load balancer (phases 4+5).
+func prepareInviscid(rc *RunCtx) ([]loadbal.Task, taskCtx, mergeFunc, error) {
+	cfg := rc.cfg
+	size := rc.size
+	transIn, err := transitionInput(rc.g, rc.outerPts, rc.outerSegs, rc.nbBox, size)
+	if err != nil {
+		return nil, taskCtx{}, nil, err
+	}
+	quads, err := decouple.InitialQuadrants(rc.nbBox, rc.ffBox, size)
+	if err != nil {
+		return nil, taskCtx{}, nil, err
+	}
+	regions := decouple.Decouple(quads[:], size, cfg.Ranks*cfg.SubdomainsPerRank)
+
+	var tasks []loadbal.Task
+
+	// Transition tasks: sector-decoupled when the geometry allows it.
+	want := cfg.TransitionSectors
+	if want == 0 {
+		want = cfg.Ranks * cfg.SubdomainsPerRank / 128
+		if want > 32 {
+			want = 32
+		}
+	}
+	var transInputs []delaunay.Input
+	if want > 1 {
+		if sec, ok := transitionSectors(transIn, len(rc.outerPts), size, want); ok {
+			transInputs = sec
+		}
+	}
+	if transInputs == nil {
+		transInputs = []delaunay.Input{transIn}
+	}
+	for _, ti := range transInputs {
+		tasks = append(tasks, loadbal.Task{
+			ID:   int32(len(tasks)),
+			Cost: float64(len(ti.Points)) * 4,
+			Vals: regionTaskVals(kindTransition, ti.Points, ti.Segments, ti.Holes),
+		})
+	}
+	nTrans := len(tasks)
+	for _, r := range regions {
+		n := len(r.Border)
+		segs := make([][2]int32, n)
+		for k := 0; k < n; k++ {
+			segs[k] = [2]int32{int32(k), int32((k + 1) % n)}
+		}
+		tasks = append(tasks, loadbal.Task{
+			ID:   int32(len(tasks)),
+			Cost: r.Cost(size),
+			Vals: regionTaskVals(kindInviscid, r.Border, segs, nil),
+		})
+	}
+	merge := func(results [][]float64) error {
+		var tris []float64
+		trans, inv := 0, 0
+		for i, r := range results {
+			tris = append(tris, r...)
+			if i < nTrans {
+				trans += len(r) / 6
+			} else {
+				inv += len(r) / 6
+			}
+		}
+		rc.isoTris = tris
+		rc.stats.TransitionTris = trans
+		rc.stats.InviscidTris = inv
+		return nil
+	}
+	return tasks, taskCtx{frame: rc.ffBox, size: size, kernel: cfg.InviscidKernel}, merge, nil
+}
+
+// runMerge gathers the boundary-layer mesh and the transition/inviscid
+// triangles into the final audited mesh (phase 6).
+func runMerge(rc *RunCtx) error {
+	b := mesh.NewBuilder()
+	for _, tr := range rc.blMesh.Triangles {
+		b.AddTriangle(rc.blMesh.Points[tr[0]], rc.blMesh.Points[tr[1]], rc.blMesh.Points[tr[2]])
+	}
+	for i := 0; i+5 < len(rc.isoTris); i += 6 {
+		b.AddTriangle(
+			geom.Pt(rc.isoTris[i], rc.isoTris[i+1]),
+			geom.Pt(rc.isoTris[i+2], rc.isoTris[i+3]),
+			geom.Pt(rc.isoTris[i+4], rc.isoTris[i+5]),
+		)
+	}
+	rc.res.Mesh = b.Mesh()
+	rc.stats.TotalTriangles = rc.res.Mesh.NumTriangles()
+	if err := rc.res.Mesh.Audit(); err != nil {
+		return fmt.Errorf("core: final mesh failed audit: %w", err)
+	}
+	return nil
+}

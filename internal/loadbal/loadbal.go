@@ -11,6 +11,7 @@ package loadbal
 
 import (
 	"container/heap"
+	"context"
 	"sync"
 	"time"
 
@@ -106,6 +107,7 @@ type state struct {
 	queue     taskQueue
 	remaining float64 // queued + in-flight cost
 	done      bool
+	canceled  bool // abort: stop even with tasks still queued
 }
 
 func (s *state) push(t Task) {
@@ -124,7 +126,7 @@ func (s *state) popForMesher() (Task, bool) {
 	for len(s.queue) == 0 && !s.done {
 		s.cond.Wait()
 	}
-	if len(s.queue) == 0 {
+	if s.canceled || len(s.queue) == 0 {
 		return Task{}, false
 	}
 	t := heap.Pop(&s.queue).(Task)
@@ -163,10 +165,40 @@ func (s *state) terminate() {
 	s.mu.Unlock()
 }
 
+// cancel aborts the queue: unlike terminate, which lets the mesher drain
+// what is already queued, cancel makes popForMesher return immediately
+// even with tasks outstanding. Used when the world is torn down or the
+// run's context is canceled.
+func (s *state) cancel() {
+	s.mu.Lock()
+	s.done = true
+	s.canceled = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
 // Run executes all tasks across the world. Every rank calls Run with its
 // initial task list; process is invoked once per task, on exactly one
 // rank. Returns this rank's stats. The window must have one slot per rank.
-func Run(c *mpi.Comm, win *mpi.Window, initial []Task, totalTasks int, opt Options, process func(Task)) Stats {
+//
+// The run ends early when ctx is canceled or the world is torn down: the
+// task in flight completes, queued tasks are abandoned, both goroutines
+// return promptly (no leak), and the teardown cause is returned alongside
+// the stats accumulated so far. A nil error means every local pop was
+// processed and termination arrived from the root.
+func Run(ctx context.Context, c *mpi.Comm, win *mpi.Window, initial []Task, totalTasks int, opt Options, process func(Task)) (Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// A run that is dead on arrival must not process anything: without this
+	// check the mesher could race the communicator's first poll and drain a
+	// task before the abort lands.
+	if ctx.Err() != nil {
+		return Stats{}, context.Cause(ctx)
+	}
+	if err := c.Err(); err != nil {
+		return Stats{}, err
+	}
 	st := &state{}
 	st.cond = sync.NewCond(&st.mu)
 	for _, t := range initial {
@@ -175,6 +207,7 @@ func Run(c *mpi.Comm, win *mpi.Window, initial []Task, totalTasks int, opt Optio
 
 	var stats Stats
 	var statsMu sync.Mutex
+	var runErr error // set by the communicator on abort, under statsMu
 
 	var wg sync.WaitGroup
 	wg.Add(2)
@@ -211,17 +244,42 @@ func Run(c *mpi.Comm, win *mpi.Window, initial []Task, totalTasks int, opt Optio
 				stats.Failed++
 			}
 			statsMu.Unlock()
-			// Report the completion to the root's termination counter.
-			c.Send(0, tagComplete, nil)
+			// Report the completion to the root's termination counter. A
+			// failed send means the world is tearing down; stop draining —
+			// the communicator observes the same closure and cancels the
+			// queue, so just park until then.
+			if err := c.Send(0, tagComplete, nil); err != nil {
+				st.cancel()
+				return
+			}
 		}
 	}()
 
 	// Communicator goroutine: window updates, stealing, termination.
 	go func() {
 		defer wg.Done()
+		abort := func(err error) {
+			statsMu.Lock()
+			if runErr == nil {
+				runErr = err
+			}
+			statsMu.Unlock()
+			st.cancel()
+		}
 		completed := 0 // root only
 		awaitingGrant := false
 		for {
+			// Teardown and cancellation are level-triggered: checked once
+			// per poll iteration, so an abort is noticed within one Poll
+			// interval even while no messages flow.
+			if err := c.Err(); err != nil {
+				abort(err)
+				return
+			}
+			if ctx.Err() != nil {
+				abort(context.Cause(ctx))
+				return
+			}
 			// Serve everything pending. Only the balancer's own tags are
 			// consumed, so callers may interleave their own messages (the
 			// pipeline ships task results to the root concurrently).
@@ -236,12 +294,16 @@ func Run(c *mpi.Comm, win *mpi.Window, initial []Task, totalTasks int, opt Optio
 						// Zero-copy transfer: the task moves by reference,
 						// accounted at exactly the size its serialized form
 						// (encodeTask) would occupy on the wire.
-						c.SendRef(src, tagGrant, t, t.WireBytes())
+						if err := c.SendRef(src, tagGrant, t, t.WireBytes()); err != nil {
+							// Undelivered: the task is still ours to run.
+							st.push(t)
+							break
+						}
 						statsMu.Lock()
 						stats.StealsGranted++
 						statsMu.Unlock()
-					} else {
-						c.Send(src, tagDeny, nil)
+					} else if err := c.Send(src, tagDeny, nil); err != nil {
+						break
 					}
 				case tagGrant:
 					switch p := data.(type) {
@@ -265,7 +327,10 @@ func Run(c *mpi.Comm, win *mpi.Window, initial []Task, totalTasks int, opt Optio
 			}
 			if c.Rank() == 0 && completed == totalTasks {
 				for r := 0; r < c.Size(); r++ {
-					c.Send(r, tagTerminate, nil)
+					if err := c.Send(r, tagTerminate, nil); err != nil {
+						abort(err)
+						return
+					}
 				}
 				completed = -1 // sent; keep serving until our own terminate arrives
 			}
@@ -282,11 +347,12 @@ func Run(c *mpi.Comm, win *mpi.Window, initial []Task, totalTasks int, opt Optio
 					}
 				}
 				if victim >= 0 {
-					c.Send(victim, tagRequest, nil)
-					awaitingGrant = true
-					statsMu.Lock()
-					stats.StealRequests++
-					statsMu.Unlock()
+					if err := c.Send(victim, tagRequest, nil); err == nil {
+						awaitingGrant = true
+						statsMu.Lock()
+						stats.StealRequests++
+						statsMu.Unlock()
+					}
 				}
 			}
 			time.Sleep(opt.Poll)
@@ -294,7 +360,7 @@ func Run(c *mpi.Comm, win *mpi.Window, initial []Task, totalTasks int, opt Optio
 	}()
 
 	wg.Wait()
-	return stats
+	return stats, runErr
 }
 
 // tryRecvBalancer polls only the balancer's tag range. Grants travel as

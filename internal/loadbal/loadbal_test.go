@@ -2,6 +2,7 @@ package loadbal
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -50,13 +51,16 @@ func runBalanced(t *testing.T, ranks int, dist [][]Task, opt Options) ([][]int32
 	statsOut := make([]Stats, ranks)
 	var mu sync.Mutex
 	err := world.Run(func(c *mpi.Comm) {
-		st := Run(c, win, dist[c.Rank()], total, opt, func(task Task) {
+		st, rerr := Run(context.Background(), c, win, dist[c.Rank()], total, opt, func(task Task) {
 			// Simulate work proportional to cost.
 			time.Sleep(time.Duration(task.Cost) * 10 * time.Microsecond)
 			mu.Lock()
 			processed[c.Rank()] = append(processed[c.Rank()], task.ID)
 			mu.Unlock()
 		})
+		if rerr != nil {
+			t.Errorf("rank %d: %v", c.Rank(), rerr)
+		}
 		statsOut[c.Rank()] = st
 	})
 	if err != nil {
@@ -171,7 +175,7 @@ func TestPayloadSurvivesTransfer(t *testing.T) {
 	var mu sync.Mutex
 	bad := false
 	err := world.Run(func(c *mpi.Comm) {
-		Run(c, win, dist[c.Rank()], 8, Options{StealBelow: 60, Poll: 100 * time.Microsecond}, func(task Task) {
+		Run(context.Background(), c, win, dist[c.Rank()], 8, Options{StealBelow: 60, Poll: 100 * time.Microsecond}, func(task Task) {
 			time.Sleep(500 * time.Microsecond)
 			for i := range task.Payload {
 				if task.Payload[i] != byte(i) {
@@ -206,7 +210,7 @@ func TestPanickingTaskDoesNotHang(t *testing.T) {
 	go func() {
 		defer close(done)
 		world.Run(func(c *mpi.Comm) {
-			stats[c.Rank()] = Run(c, win, dist[c.Rank()], 3,
+			stats[c.Rank()], _ = Run(context.Background(), c, win, dist[c.Rank()], 3,
 				Options{StealBelow: 0.5, Poll: 100 * time.Microsecond},
 				func(task Task) {
 					if task.ID == 1 {

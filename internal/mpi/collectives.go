@@ -4,7 +4,10 @@ package mpi
 // like their MPI counterparts: Reduce, Allreduce and Scatter over float64
 // vectors. The pipeline's statistics aggregation and the examples use
 // them; they also round out the runtime for downstream users porting MPI
-// code.
+// code. Each takes a context governing its blocking receives and returns
+// an error when the wait is cut short (cancellation or world teardown).
+
+import "context"
 
 // Op is a reduction operator over float64.
 type Op func(a, b float64) float64
@@ -30,15 +33,24 @@ var (
 // (MPI_Reduce). Non-root ranks return nil. Contribution payloads travel
 // in pooled buffers: each is read by exactly one receiver (the root), so
 // ownership transfers with the message and the root releases the buffer
-// after folding it into the accumulator.
-func (c *Comm) Reduce(root, tag int, data []float64, op Op) []float64 {
+// after folding it into the accumulator. A send that fails (world torn
+// down) never transferred ownership, so the contribution buffer is
+// released here rather than leaked.
+func (c *Comm) Reduce(ctx context.Context, root, tag int, data []float64, op Op) ([]float64, error) {
 	if c.rank != root {
-		c.Send(root, tag, EncodeFloatsPooled(data))
-		return nil
+		buf := EncodeFloatsPooled(data)
+		if err := c.Send(root, tag, buf); err != nil {
+			PutBytes(buf)
+			return nil, err
+		}
+		return nil, nil
 	}
 	acc := append([]float64{}, data...)
 	for i := 0; i < c.world.n-1; i++ {
-		d, _, _ := c.Recv(AnySource, tag)
+		d, _, _, err := c.Recv(ctx, AnySource, tag)
+		if err != nil {
+			return nil, err
+		}
 		v := DecodeFloatsPooled(d)
 		for k := range acc {
 			if k < len(v) {
@@ -48,31 +60,41 @@ func (c *Comm) Reduce(root, tag int, data []float64, op Op) []float64 {
 		PutFloats(v)
 		PutBytes(d)
 	}
-	return acc
+	return acc, nil
 }
 
 // Allreduce is Reduce followed by a broadcast of the result; every rank
 // returns the combined vector (MPI_Allreduce).
-func (c *Comm) Allreduce(tag int, data []float64, op Op) []float64 {
-	res := c.Reduce(0, tag, data, op)
-	if c.rank == 0 {
-		return DecodeFloats(c.Bcast(0, tag+1, EncodeFloats(res)))
+func (c *Comm) Allreduce(ctx context.Context, tag int, data []float64, op Op) ([]float64, error) {
+	res, err := c.Reduce(ctx, 0, tag, data, op)
+	if err != nil {
+		return nil, err
 	}
-	return DecodeFloats(c.Bcast(0, tag+1, nil))
+	var payload []byte
+	if c.rank == 0 {
+		payload = EncodeFloats(res)
+	}
+	d, err := c.Bcast(ctx, 0, tag+1, payload)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeFloats(d), nil
 }
 
 // Scatter distributes one payload per rank from the root (MPI_Scatterv);
 // every rank returns its chunk. chunks is only read on the root and must
 // have Size() entries.
-func (c *Comm) Scatter(root, tag int, chunks [][]byte) []byte {
+func (c *Comm) Scatter(ctx context.Context, root, tag int, chunks [][]byte) ([]byte, error) {
 	if c.rank == root {
 		for r := 0; r < c.world.n; r++ {
 			if r != root {
-				c.Send(r, tag, chunks[r])
+				if err := c.Send(r, tag, chunks[r]); err != nil {
+					return nil, err
+				}
 			}
 		}
-		return chunks[root]
+		return chunks[root], nil
 	}
-	d, _, _ := c.Recv(root, tag)
-	return d
+	d, _, _, err := c.Recv(ctx, root, tag)
+	return d, err
 }

@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"context"
 	"math"
 	"sync/atomic"
 	"testing"
@@ -10,7 +11,10 @@ import (
 func TestReduceSum(t *testing.T) {
 	err := Run(6, func(c *Comm) {
 		data := []float64{float64(c.Rank()), 1}
-		got := c.Reduce(2, 40, data, OpSum)
+		got, err := c.Reduce(context.Background(), 2, 40, data, OpSum)
+		if err != nil {
+			panic(err)
+		}
 		if c.Rank() != 2 {
 			if got != nil {
 				panic("non-root must return nil")
@@ -30,12 +34,12 @@ func TestReduceSum(t *testing.T) {
 func TestReduceMaxMin(t *testing.T) {
 	err := Run(5, func(c *Comm) {
 		v := []float64{float64(c.Rank()*c.Rank() - 3)}
-		mx := c.Reduce(0, 41, v, OpMax)
+		mx, _ := c.Reduce(context.Background(), 0, 41, v, OpMax)
 		if c.Rank() == 0 && mx[0] != 13 {
 			panic("max mismatch")
 		}
 		c.Barrier()
-		mn := c.Reduce(0, 42, v, OpMin)
+		mn, _ := c.Reduce(context.Background(), 0, 42, v, OpMin)
 		if c.Rank() == 0 && mn[0] != -3 {
 			panic("min mismatch")
 		}
@@ -47,7 +51,10 @@ func TestReduceMaxMin(t *testing.T) {
 
 func TestAllreduce(t *testing.T) {
 	err := Run(8, func(c *Comm) {
-		got := c.Allreduce(50, []float64{1, float64(c.Rank())}, OpSum)
+		got, err := c.Allreduce(context.Background(), 50, []float64{1, float64(c.Rank())}, OpSum)
+		if err != nil {
+			panic(err)
+		}
 		if got[0] != 8 {
 			panic("allreduce count mismatch")
 		}
@@ -68,8 +75,8 @@ func TestScatter(t *testing.T) {
 				chunks = append(chunks, []byte{byte(r * 10)})
 			}
 		}
-		got := c.Scatter(1, 60, chunks)
-		if len(got) != 1 || got[0] != byte(c.Rank()*10) {
+		got, err := c.Scatter(context.Background(), 1, 60, chunks)
+		if err != nil || len(got) != 1 || got[0] != byte(c.Rank()*10) {
 			panic("scatter chunk mismatch")
 		}
 	})
@@ -102,7 +109,7 @@ func TestAllreduceProperty(t *testing.T) {
 		}
 		var bad atomic.Bool
 		err := Run(4, func(c *Comm) {
-			got := c.Allreduce(70, vals[c.Rank()][:], OpSum)
+			got, _ := c.Allreduce(context.Background(), 70, vals[c.Rank()][:], OpSum)
 			for k := 0; k < 3; k++ {
 				if math.Abs(got[k]-want[k]) > 1e-6 {
 					bad.Store(true)
@@ -130,7 +137,7 @@ func TestMailboxFIFOProperty(t *testing.T) {
 				return
 			}
 			for i := 0; i < n; i++ {
-				d, _, _ := c.Recv(0, 9)
+				d, _, _, _ := c.Recv(context.Background(), 0, 9)
 				if int(d[0]) != i {
 					bad.Store(true)
 				}

@@ -1,6 +1,7 @@
 package mpi_test
 
 import (
+	"context"
 	"fmt"
 
 	"pamg2d/internal/mpi"
@@ -12,8 +13,8 @@ func ExampleComm_Gather() {
 	world := mpi.NewWorld(4)
 	err := world.Run(func(c *mpi.Comm) {
 		payload := mpi.EncodeFloats([]float64{float64(c.Rank() * 10)})
-		parts := c.Gather(0, 1, payload)
-		if c.Rank() != 0 {
+		parts, err := c.Gather(context.Background(), 0, 1, payload)
+		if err != nil || c.Rank() != 0 {
 			return
 		}
 		var sum float64

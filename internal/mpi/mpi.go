@@ -7,10 +7,18 @@
 // meshing and load-balancing code is written exactly as it would be
 // against real MPI. Message and byte counters feed the performance model
 // that stands in for the paper's Infiniband cluster.
+//
+// Failures propagate as errors rather than crashes: sends to invalid ranks
+// return ErrInvalidRank, blocking receives accept a context and return an
+// error matching ErrWorldClosed when the world is torn down mid-wait, and
+// a rank that fails inside RunCtx surfaces as a *RankError after the
+// remaining ranks have been unblocked.
 package mpi
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -22,6 +30,33 @@ const AnySource = -1
 
 // AnyTag matches any message tag.
 const AnyTag = -1
+
+var (
+	// ErrWorldClosed reports a blocking operation cut short because the
+	// world was torn down (a peer failure, cancellation, or Close). Match
+	// with errors.Is; the returned error wraps the teardown cause.
+	ErrWorldClosed = errors.New("mpi: world closed")
+	// ErrInvalidRank reports a send addressed outside [0, Size).
+	ErrInvalidRank = errors.New("mpi: invalid rank")
+)
+
+// RankError attributes a failure to the rank it occurred on; RunCtx wraps
+// rank panics and returned errors in it so callers can report which worker
+// failed instead of losing the whole process.
+type RankError struct {
+	Rank int
+	Err  error
+}
+
+func (e *RankError) Error() string { return fmt.Sprintf("mpi: rank %d: %v", e.Rank, e.Err) }
+func (e *RankError) Unwrap() error { return e.Err }
+
+// closedError carries the teardown cause while matching ErrWorldClosed.
+type closedError struct{ cause error }
+
+func (e *closedError) Error() string        { return "mpi: world closed: " + e.cause.Error() }
+func (e *closedError) Unwrap() error        { return e.cause }
+func (e *closedError) Is(target error) bool { return target == ErrWorldClosed }
 
 // Stats counts traffic for the performance model.
 type Stats struct {
@@ -39,6 +74,23 @@ type message struct {
 	// bytes. Exactly one of data/ref is set; the byte count that would
 	// have crossed a real wire is accounted at send time either way.
 	ref any
+}
+
+// releasePayload returns a dropped message's pooled payload to the pools.
+// Ownership passed to the receiver at send time; when the world closes
+// before the receive happens, the runtime is the payload's last owner and
+// must release it so cancellation does not leak pooled buffers.
+func releasePayload(m *message) {
+	if m.data != nil {
+		PutBytes(m.data)
+		return
+	}
+	switch r := m.ref.(type) {
+	case []byte:
+		PutBytes(r)
+	case []float64:
+		PutFloats(r)
+	}
 }
 
 // msgQueue is a FIFO with an amortized-O(1) head pop: consumed entries
@@ -112,6 +164,11 @@ type World struct {
 	boxes   []*mailbox
 	stats   *Stats
 	barrier *barrier
+
+	closeMu    sync.Mutex
+	closeCause error // write-once, guarded by closeMu before closed is set
+	closed     atomic.Bool
+
 	windows struct {
 		mu   sync.Mutex
 		list []*Window
@@ -134,9 +191,77 @@ func NewWorld(n int) *World {
 // Stats returns the world's traffic counters.
 func (w *World) Stats() *Stats { return w.stats }
 
+// Close tears the world down: every blocked receive and barrier returns an
+// error matching ErrWorldClosed (wrapping cause), queued messages are
+// dropped with their pooled payloads released back to the pools, and later
+// sends fail. The first Close wins; subsequent calls are no-ops. RunCtx
+// calls Close automatically when a rank fails or the context is canceled.
+func (w *World) Close(cause error) {
+	w.closeMu.Lock()
+	if w.closed.Load() {
+		w.closeMu.Unlock()
+		return
+	}
+	if cause == nil {
+		cause = ErrWorldClosed
+	}
+	w.closeCause = cause
+	w.closed.Store(true)
+	w.closeMu.Unlock()
+	for _, mb := range w.boxes {
+		mb.mu.Lock()
+		mb.closed = true
+		for _, q := range mb.tags {
+			for i := q.head; i < len(q.msgs); i++ {
+				releasePayload(&q.msgs[i])
+				q.msgs[i] = message{}
+			}
+			q.head = len(q.msgs)
+		}
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
+	}
+	w.barrier.close()
+}
+
+// Err returns an error matching ErrWorldClosed (wrapping the teardown
+// cause) once the world is closed, and nil while it is open.
+func (w *World) Err() error {
+	if !w.closed.Load() {
+		return nil
+	}
+	// closeCause is written before the atomic store of closed, so the load
+	// above orders this read.
+	if w.closeCause == ErrWorldClosed {
+		return ErrWorldClosed
+	}
+	return &closedError{cause: w.closeCause}
+}
+
 // Run spawns fn on every rank and waits for all to finish. A panic in any
-// rank is captured and returned as an error after the others complete.
+// rank is captured, tears the world down so the other ranks unblock, and
+// is returned as a *RankError after all ranks complete.
 func (w *World) Run(fn func(c *Comm)) error {
+	return w.RunCtx(context.Background(), func(c *Comm) error {
+		fn(c)
+		return nil
+	})
+}
+
+// RunCtx spawns fn on every rank and waits for all to finish. When ctx is
+// canceled, or any rank returns an error or panics, the world is closed so
+// blocked peers unwind, and the root cause is returned: the context's
+// cause on cancellation, otherwise a *RankError naming the failed rank. A
+// world that runs to completion stays open and may be reused for further
+// Run calls (the pipeline's result-drain pass relies on this).
+func (w *World) RunCtx(ctx context.Context, fn func(c *Comm) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() { w.Close(context.Cause(ctx)) })
+		defer stop()
+	}
 	var wg sync.WaitGroup
 	errs := make([]error, w.n)
 	for r := 0; r < w.n; r++ {
@@ -145,20 +270,24 @@ func (w *World) Run(fn func(c *Comm)) error {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
-					// Unblock anyone waiting on this rank.
-					for _, mb := range w.boxes {
-						mb.mu.Lock()
-						mb.closed = true
-						mb.cond.Broadcast()
-						mb.mu.Unlock()
-					}
+					re := &RankError{Rank: rank, Err: fmt.Errorf("panic: %v", p)}
+					errs[rank] = re
+					w.Close(re)
 				}
 			}()
-			fn(&Comm{world: w, rank: rank})
+			if err := fn(&Comm{world: w, rank: rank}); err != nil {
+				re := &RankError{Rank: rank, Err: err}
+				errs[rank] = re
+				w.Close(re)
+			}
 		}(r)
 	}
 	wg.Wait()
+	if w.closed.Load() {
+		// The close cause is the chronologically first failure; ranks that
+		// merely observed the teardown are not the root cause.
+		return w.closeCause
+	}
 	for _, e := range errs {
 		if e != nil {
 			return e
@@ -187,26 +316,46 @@ func (c *Comm) Size() int { return c.world.n }
 // World returns the underlying world (for stats access in drivers).
 func (c *Comm) World() *World { return c.world }
 
-// Send delivers data to rank `to` with the given tag. Like MPI's eager
-// protocol it does not block. The data slice is not copied; senders must
-// not mutate it afterwards.
-func (c *Comm) Send(to, tag int, data []byte) {
+// Err reports the world's teardown cause, or nil while it is open. Polling
+// loops (the load balancer's communicator) use it to notice cancellation
+// without blocking.
+func (c *Comm) Err() error { return c.world.Err() }
+
+// send enqueues m at rank to's mailbox and accounts wire bytes on success.
+// On error the payload is NOT consumed: ownership stays with the caller,
+// which must release pooled buffers itself.
+func (c *Comm) send(to, tag int, m message, wire int) error {
 	if to < 0 || to >= c.world.n {
-		panic(fmt.Sprintf("mpi: send to invalid rank %d", to))
+		return fmt.Errorf("%w: send to rank %d of %d", ErrInvalidRank, to, c.world.n)
 	}
-	st := c.world.stats
-	st.Messages.Add(1)
-	st.Bytes.Add(int64(len(data)))
 	mb := c.world.boxes[to]
 	mb.mu.Lock()
+	if mb.closed {
+		mb.mu.Unlock()
+		return c.world.Err()
+	}
 	q := mb.tags[tag]
 	if q == nil {
 		q = &msgQueue{}
 		mb.tags[tag] = q
 	}
-	q.push(message{from: c.rank, tag: tag, data: data})
+	q.push(m)
 	mb.cond.Broadcast()
 	mb.mu.Unlock()
+	st := c.world.stats
+	st.Messages.Add(1)
+	st.Bytes.Add(int64(wire))
+	return nil
+}
+
+// Send delivers data to rank `to` with the given tag. Like MPI's eager
+// protocol it does not block. The data slice is not copied; on success
+// ownership passes to the receiver and senders must not mutate it
+// afterwards. It returns ErrInvalidRank for an out-of-range destination
+// and an ErrWorldClosed-matching error after teardown; on error the caller
+// keeps ownership of data.
+func (c *Comm) Send(to, tag int, data []byte) error {
+	return c.send(to, tag, message{from: c.rank, tag: tag, data: data}, len(data))
 }
 
 // SendRef delivers an in-address-space payload by reference — the
@@ -215,66 +364,72 @@ func (c *Comm) Send(to, tag int, data []byte) {
 // serialized payload would occupy on a real interconnect and is what the
 // stats counters record, so the communication-volume accounting is
 // byte-for-byte identical to sending the encoded form with Send.
-// Ownership of ref passes to the receiver.
-func (c *Comm) SendRef(to, tag int, ref any, wireBytes int) {
-	if to < 0 || to >= c.world.n {
-		panic(fmt.Sprintf("mpi: send to invalid rank %d", to))
-	}
-	st := c.world.stats
-	st.Messages.Add(1)
-	st.Bytes.Add(int64(wireBytes))
-	mb := c.world.boxes[to]
-	mb.mu.Lock()
-	q := mb.tags[tag]
-	if q == nil {
-		q = &msgQueue{}
-		mb.tags[tag] = q
-	}
-	q.push(message{from: c.rank, tag: tag, ref: ref})
-	mb.cond.Broadcast()
-	mb.mu.Unlock()
+// Ownership of ref passes to the receiver on success; on error (invalid
+// rank, closed world) it stays with the caller.
+func (c *Comm) SendRef(to, tag int, ref any, wireBytes int) error {
+	return c.send(to, tag, message{from: c.rank, tag: tag, ref: ref}, wireBytes)
 }
 
-// Recv blocks until a message matching (from, tag) arrives and returns its
-// payload and envelope. Use AnySource and AnyTag as wildcards.
-func (c *Comm) Recv(from, tag int) (data []byte, srcRank, srcTag int) {
+// recv blocks until a matching message arrives, the context is canceled,
+// or the world is closed.
+func (c *Comm) recv(ctx context.Context, from, tag int) (message, error) {
 	mb := c.world.boxes[c.rank]
+	if ctx != nil && ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			// Wake the waiter below so it can observe ctx.Err.
+			mb.mu.Lock()
+			mb.cond.Broadcast()
+			mb.mu.Unlock()
+		})
+		defer stop()
+	}
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for {
 		if m, ok := mb.match(from, tag); ok {
-			return m.data, m.from, m.tag
+			return m, nil
 		}
 		if mb.closed {
-			panic("mpi: world torn down while receiving")
+			return message{}, c.world.Err()
+		}
+		if ctx != nil && ctx.Done() != nil {
+			if ctx.Err() != nil {
+				return message{}, context.Cause(ctx)
+			}
 		}
 		mb.cond.Wait()
 	}
+}
+
+// Recv blocks until a message matching (from, tag) arrives and returns its
+// payload and envelope. Use AnySource and AnyTag as wildcards. The wait is
+// cut short by ctx (returning the context's cause) or by world teardown
+// (returning an error matching ErrWorldClosed).
+func (c *Comm) Recv(ctx context.Context, from, tag int) (data []byte, srcRank, srcTag int, err error) {
+	m, err := c.recv(ctx, from, tag)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return m.data, m.from, m.tag, nil
 }
 
 // RecvRef blocks like Recv but returns the message's reference payload.
 // For a message sent with Send it returns the byte slice as the ref, so a
 // tag may mix both transports; callers type-switch on the result.
-func (c *Comm) RecvRef(from, tag int) (ref any, srcRank, srcTag int) {
-	mb := c.world.boxes[c.rank]
-	mb.mu.Lock()
-	defer mb.mu.Unlock()
-	for {
-		if m, ok := mb.match(from, tag); ok {
-			if m.ref != nil {
-				return m.ref, m.from, m.tag
-			}
-			return m.data, m.from, m.tag
-		}
-		if mb.closed {
-			panic("mpi: world torn down while receiving")
-		}
-		mb.cond.Wait()
+func (c *Comm) RecvRef(ctx context.Context, from, tag int) (ref any, srcRank, srcTag int, err error) {
+	m, err := c.recv(ctx, from, tag)
+	if err != nil {
+		return nil, 0, 0, err
 	}
+	if m.ref != nil {
+		return m.ref, m.from, m.tag, nil
+	}
+	return m.data, m.from, m.tag, nil
 }
 
 // TryRecv is a non-blocking probe-and-receive: ok is false when no
-// matching message is queued.
+// matching message is queued (including after teardown, which drops all
+// queued messages — poll Err to distinguish).
 func (c *Comm) TryRecv(from, tag int) (data []byte, srcRank, srcTag int, ok bool) {
 	mb := c.world.boxes[c.rank]
 	mb.mu.Lock()
@@ -299,48 +454,59 @@ func (c *Comm) TryRecvRef(from, tag int) (ref any, srcRank, srcTag int, ok bool)
 	return nil, 0, 0, false
 }
 
-// Barrier blocks until every rank has entered it.
-func (c *Comm) Barrier() { c.world.barrier.await() }
+// Barrier blocks until every rank has entered it, or returns an error
+// matching ErrWorldClosed if the world is torn down while waiting.
+func (c *Comm) Barrier() error {
+	if !c.world.barrier.await() {
+		return c.world.Err()
+	}
+	return nil
+}
 
 // Gather sends each rank's data to the root, which receives them in rank
 // order; non-root ranks return nil. This mirrors the paper's gather of
-// boundary-layer point coordinates at the root.
-func (c *Comm) Gather(root, tag int, data []byte) [][]byte {
+// boundary-layer point coordinates at the root. The root's wait honors ctx.
+func (c *Comm) Gather(ctx context.Context, root, tag int, data []byte) ([][]byte, error) {
 	if c.rank != root {
-		c.Send(root, tag, data)
-		return nil
+		return nil, c.Send(root, tag, data)
 	}
 	out := make([][]byte, c.world.n)
 	out[root] = data
 	for i := 0; i < c.world.n-1; i++ {
-		d, src, _ := c.Recv(AnySource, tag)
+		d, src, _, err := c.Recv(ctx, AnySource, tag)
+		if err != nil {
+			return nil, err
+		}
 		out[src] = d
 	}
-	return out
+	return out, nil
 }
 
 // Bcast sends data from the root to every other rank; all ranks return the
-// payload.
-func (c *Comm) Bcast(root, tag int, data []byte) []byte {
+// payload. Non-root waits honor ctx.
+func (c *Comm) Bcast(ctx context.Context, root, tag int, data []byte) ([]byte, error) {
 	if c.rank == root {
 		for r := 0; r < c.world.n; r++ {
 			if r != root {
-				c.Send(r, tag, data)
+				if err := c.Send(r, tag, data); err != nil {
+					return nil, err
+				}
 			}
 		}
-		return data
+		return data, nil
 	}
-	d, _, _ := c.Recv(root, tag)
-	return d
+	d, _, _, err := c.Recv(ctx, root, tag)
+	return d, err
 }
 
 // barrier is a reusable n-party barrier.
 type barrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	n     int
-	count int
-	phase int
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	count  int
+	phase  int
+	closed bool
 }
 
 func newBarrier(n int) *barrier {
@@ -349,20 +515,32 @@ func newBarrier(n int) *barrier {
 	return b
 }
 
-func (b *barrier) await() {
+func (b *barrier) close() {
 	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// await reports whether the barrier completed (false: torn down mid-wait).
+func (b *barrier) await() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return false
+	}
 	phase := b.phase
 	b.count++
 	if b.count == b.n {
 		b.count = 0
 		b.phase++
 		b.cond.Broadcast()
-	} else {
-		for phase == b.phase {
-			b.cond.Wait()
-		}
+		return true
 	}
-	b.mu.Unlock()
+	for phase == b.phase && !b.closed {
+		b.cond.Wait()
+	}
+	return phase != b.phase
 }
 
 // Window is a one-sided RMA window: an array of float64 slots hosted on a

@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -11,8 +12,8 @@ func TestSendRecvPair(t *testing.T) {
 		if c.Rank() == 0 {
 			c.Send(1, 7, []byte("hello"))
 		} else {
-			data, src, tag := c.Recv(0, 7)
-			if string(data) != "hello" || src != 0 || tag != 7 {
+			data, src, tag, err := c.Recv(context.Background(), 0, 7)
+			if err != nil || string(data) != "hello" || src != 0 || tag != 7 {
 				panic("bad message")
 			}
 		}
@@ -27,7 +28,7 @@ func TestRecvWildcards(t *testing.T) {
 		if c.Rank() == 0 {
 			seen := map[int]bool{}
 			for i := 0; i < 3; i++ {
-				data, src, _ := c.Recv(AnySource, AnyTag)
+				data, src, _, _ := c.Recv(context.Background(), AnySource, AnyTag)
 				if len(data) != 1 || int(data[0]) != src {
 					panic("payload mismatch")
 				}
@@ -52,8 +53,8 @@ func TestTagMatching(t *testing.T) {
 			c.Send(1, 2, []byte("two"))
 		} else {
 			// Receive out of order by tag.
-			d2, _, _ := c.Recv(0, 2)
-			d1, _, _ := c.Recv(0, 1)
+			d2, _, _, _ := c.Recv(context.Background(), 0, 2)
+			d1, _, _, _ := c.Recv(context.Background(), 0, 1)
 			if string(d2) != "two" || string(d1) != "one" {
 				panic("tag matching failed")
 			}
@@ -109,7 +110,10 @@ func TestBarrierOrdering(t *testing.T) {
 func TestGather(t *testing.T) {
 	err := Run(5, func(c *Comm) {
 		payload := EncodeFloats([]float64{float64(c.Rank()) * 1.5})
-		got := c.Gather(2, 9, payload)
+		got, err := c.Gather(context.Background(), 2, 9, payload)
+		if err != nil {
+			panic(err)
+		}
 		if c.Rank() != 2 {
 			if got != nil {
 				panic("non-root must get nil")
@@ -137,8 +141,8 @@ func TestBcast(t *testing.T) {
 		if c.Rank() == 3 {
 			data = []byte("root-data")
 		}
-		got := c.Bcast(3, 1, data)
-		if string(got) != "root-data" {
+		got, err := c.Bcast(context.Background(), 3, 1, data)
+		if err != nil || string(got) != "root-data" {
 			panic("bcast payload mismatch")
 		}
 	})
@@ -187,7 +191,7 @@ func TestStatsCounting(t *testing.T) {
 		if c.Rank() == 0 {
 			c.Send(1, 0, make([]byte, 100))
 		} else {
-			c.Recv(0, 0)
+			c.Recv(context.Background(), 0, 0)
 		}
 	})
 	if err != nil {
@@ -255,7 +259,7 @@ func TestManyRanksPingPong(t *testing.T) {
 		next := (c.Rank() + 1) % c.Size()
 		prev := (c.Rank() + c.Size() - 1) % c.Size()
 		c.Send(next, 0, []byte{byte(c.Rank())})
-		data, src, _ := c.Recv(prev, 0)
+		data, src, _, _ := c.Recv(context.Background(), prev, 0)
 		if int(data[0]) != prev || src != prev {
 			panic("ring hop mismatch")
 		}
@@ -277,7 +281,7 @@ func BenchmarkSendRecv(b *testing.B) {
 			}
 		} else {
 			for i := 0; i < b.N; i++ {
-				c.Recv(0, 0)
+				c.Recv(context.Background(), 0, 0)
 			}
 		}
 	})

@@ -14,11 +14,29 @@ package mpi
 // allocations in steady state — the property BenchmarkPooledEncode
 // asserts.
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // maxPoolClass bounds the pooled size classes: buffers above 2^maxPoolClass
 // bytes (16 MiB) bypass the pool and fall back to the garbage collector.
 const maxPoolClass = 24
+
+// poolGets/poolPuts count pool-eligible checkouts and releases. In a
+// leak-free program every pool-eligible Get is eventually matched by a Put
+// once the buffer's last reader is done — including the teardown paths,
+// where World.Close releases payloads still queued in mailboxes. Tests
+// assert the balance around cancellation scenarios via PoolCounters.
+var poolGets, poolPuts atomic.Int64
+
+// PoolCounters reports the cumulative pool-eligible Get and Put totals.
+// Intended for leak checks in tests: a scenario that checks buffers out
+// and runs to quiescence (including error paths) must leave gets-puts
+// unchanged.
+func PoolCounters() (gets, puts int64) {
+	return poolGets.Load(), poolPuts.Load()
+}
 
 // entry wraps a buffer so the pools traffic in pointers; storing slices
 // directly in a sync.Pool would allocate a header on every Put.
@@ -50,6 +68,7 @@ func GetBytes(n int) []byte {
 	if c > maxPoolClass {
 		return make([]byte, n)
 	}
+	poolGets.Add(1)
 	if e, _ := bytePools[c].Get().(*entry); e != nil {
 		b := e.b
 		e.b = nil
@@ -68,6 +87,7 @@ func PutBytes(b []byte) {
 	if c > maxPoolClass || cap(b) != 1<<c || cap(b) == 0 {
 		return
 	}
+	poolPuts.Add(1)
 	e := entryPool.Get().(*entry)
 	e.b = b[:cap(b)]
 	bytePools[c].Put(e)
@@ -80,6 +100,7 @@ func GetFloats(n int) []float64 {
 	if c > maxPoolClass {
 		return make([]float64, n)
 	}
+	poolGets.Add(1)
 	if e, _ := floatPools[c].Get().(*entry); e != nil {
 		f := e.f
 		e.f = nil
@@ -95,6 +116,7 @@ func PutFloats(v []float64) {
 	if c > maxPoolClass || cap(v) != 1<<c || cap(v) == 0 {
 		return
 	}
+	poolPuts.Add(1)
 	e := entryPool.Get().(*entry)
 	e.f = v[:cap(v)]
 	floatPools[c].Put(e)

@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -93,7 +94,7 @@ func TestReleasedBufferNotAliasedByLiveMessage(t *testing.T) {
 	err := Run(ranks, func(c *Comm) {
 		if c.Rank() == 0 {
 			for i := 0; i < (ranks-1)*rounds; i++ {
-				d, src, _ := c.Recv(AnySource, 7)
+				d, src, _, _ := c.Recv(context.Background(), AnySource, 7)
 				v := DecodeFloatsPooled(d)
 				for k, x := range v {
 					if want := float64(src*1000 + k); x != want {
@@ -157,7 +158,7 @@ func TestSendRefAccountingMatchesByteSend(t *testing.T) {
 		if c.Rank() == 0 {
 			c.Send(1, 3, EncodeFloats(payload))
 		} else {
-			c.Recv(0, 3)
+			c.Recv(context.Background(), 0, 3)
 		}
 	}); err != nil {
 		t.Fatal(err)
@@ -168,7 +169,7 @@ func TestSendRefAccountingMatchesByteSend(t *testing.T) {
 		if c.Rank() == 0 {
 			c.SendRef(1, 3, payload, wire)
 		} else {
-			ref, _, _ := c.RecvRef(0, 3)
+			ref, _, _, _ := c.RecvRef(context.Background(), 0, 3)
 			got := ref.([]float64)
 			for i := range payload {
 				if got[i] != payload[i] {
@@ -196,7 +197,7 @@ func TestRecvRefReturnsBytesForByteMessages(t *testing.T) {
 			c.Send(1, 9, []byte{42})
 			return
 		}
-		ref, _, _ := c.RecvRef(0, 9)
+		ref, _, _, _ := c.RecvRef(context.Background(), 0, 9)
 		b, ok := ref.([]byte)
 		if !ok || len(b) != 1 || b[0] != 42 {
 			t.Errorf("RecvRef of a byte message returned %v", ref)
