@@ -556,6 +556,67 @@ func rankName(r int) string {
 	return string(rune('0'+r)) + "-ranks"
 }
 
+// BenchmarkPushButtonAudited is the PushButton pipeline with the
+// invariant-audit stage enabled, so the trajectory tracks verification
+// overhead alongside the unaudited runs (cmd/benchreport records the same
+// workload as PushButton/1-ranks-audit).
+func BenchmarkPushButtonAudited(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Ranks = 1
+	cfg.Audit = true
+	var tris int
+	for i := 0; i < b.N; i++ {
+		res, err := core.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tris = res.Stats.TotalTriangles
+	}
+	b.ReportMetric(float64(tris), "triangles")
+}
+
+// TestAuditedWorkloads is the audit acceptance gate: the PushButton and
+// Figure 8 workloads must generate with zero audit violations at 1 and 4
+// ranks, and on PushButton/1-rank the audit stage must cost less than 30%
+// of total generation wall time.
+func TestAuditedWorkloads(t *testing.T) {
+	fig08 := core.DefaultConfig()
+	fig08.Geometry = airfoil.Single(airfoil.NACA0012, 256, 30)
+	fig08.BL = blayer.DefaultParams() // the Fig08Points boundary layer
+	workloads := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"PushButton", benchConfig()},
+		{"Fig08", fig08},
+	}
+	for _, w := range workloads {
+		for _, ranks := range []int{1, 4} {
+			if testing.Short() && (w.name == "Fig08" || ranks > 1) {
+				continue
+			}
+			cfg := w.cfg
+			cfg.Ranks = ranks
+			cfg.Audit = true
+			res, err := core.Generate(cfg)
+			if err != nil {
+				t.Fatalf("%s/%d ranks: audited run failed: %v", w.name, ranks, err)
+			}
+			if !res.Stats.Audit.Ok() {
+				t.Fatalf("%s/%d ranks: violations: %v", w.name, ranks, res.Stats.Audit.Violations)
+			}
+			if w.name == "PushButton" && ranks == 1 {
+				frac := float64(res.Stats.Times.Audit) / float64(res.Stats.Times.Total)
+				if frac >= 0.30 {
+					t.Errorf("audit overhead %.1f%% of total wall time, want < 30%%", 100*frac)
+				}
+				t.Logf("PushButton/1-rank audit overhead: %.1f%% (%v of %v)",
+					100*frac, res.Stats.Times.Audit, res.Stats.Times.Total)
+			}
+		}
+	}
+}
+
 // BenchmarkAblationPrefetch isolates the paper's two-thread design: the
 // communicator requesting work before the mesher runs dry versus a
 // single-threaded mesher that blocks for every transfer.

@@ -101,12 +101,21 @@ func run(ctx context.Context, args []string) error {
 	for _, ranks := range []int{1, 2, 4} {
 		name := fmt.Sprintf("PushButton/%d-ranks", ranks)
 		fmt.Fprintf(os.Stderr, "running %s...\n", name)
-		r, err := runPushButton(ctx, ranks, *benchtime)
+		r, err := runPushButton(ctx, ranks, false, *benchtime)
 		if err != nil {
 			return err
 		}
 		e.Benchmarks[name] = r
 	}
+	// The audited run tracks verification overhead: same workload as
+	// PushButton/1-ranks plus the invariant-audit stage. The allocation
+	// guard stays on the unaudited single-rank entry.
+	fmt.Fprintln(os.Stderr, "running PushButton/1-ranks-audit...")
+	ra, err := runPushButton(ctx, 1, true, *benchtime)
+	if err != nil {
+		return err
+	}
+	e.Benchmarks["PushButton/1-ranks-audit"] = ra
 	fmt.Fprintln(os.Stderr, "running Fig08Decompose128...")
 	r, err := runFig08(*benchtime)
 	if err != nil {
@@ -184,12 +193,13 @@ func neutral(label, what string, prev, cur int64) error {
 }
 
 // runPushButton measures the full pipeline at the given rank count on the
-// shared scaled-down configuration (identical to BenchmarkPushButton).
-// A canceled ctx aborts between (and, via the stage engine, inside)
-// iterations.
-func runPushButton(ctx context.Context, ranks int, benchtime time.Duration) (benchResult, error) {
+// shared scaled-down configuration (identical to BenchmarkPushButton; with
+// audit set, to BenchmarkPushButtonAudited). A canceled ctx aborts between
+// (and, via the stage engine, inside) iterations.
+func runPushButton(ctx context.Context, ranks int, audit bool, benchtime time.Duration) (benchResult, error) {
 	cfg := benchcfg.PushButton()
 	cfg.Ranks = ranks
+	cfg.Audit = audit
 	var genErr error
 	r := bench(benchtime, func(b *testing.B) {
 		b.ReportAllocs()

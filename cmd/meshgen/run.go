@@ -35,6 +35,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		gradation = fs.Float64("gradation", 0.15, "sizing growth with distance")
 		hmax      = fs.Float64("hmax", 4.0, "far-field edge length cap")
 		kernel    = fs.String("kernel", "ruppert", "inviscid kernel: ruppert | front")
+		auditRun  = fs.Bool("audit", false, "verify mesh invariants after the merge (fails the run on violations)")
 		format    = fs.String("format", "ascii", "output format: ascii | binary | vtk")
 		out       = fs.String("o", "", "output file (default stdout)")
 		quiet     = fs.Bool("q", false, "suppress statistics")
@@ -127,6 +128,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	cfg.Gradation = *gradation
 	cfg.HMax = *hmax
 	cfg.Ranks = *ranks
+	cfg.Audit = *auditRun
 	switch *kernel {
 	case "ruppert":
 		cfg.InviscidKernel = core.KernelRuppert
@@ -177,6 +179,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			len(st.Tasks), cfg.Ranks, st.Messages, st.BytesOnWire)
 		fmt.Fprintf(stderr, "time                 total %v (BL %v, parallel %v)\n",
 			st.Times.Total.Round(1e6), st.Times.Boundary.Round(1e6), st.Times.Parallel.Round(1e6))
+		if st.Audit != nil {
+			checked := 0
+			for _, c := range st.Audit.Checks {
+				if !c.Skipped {
+					checked++
+				}
+			}
+			fmt.Fprintf(stderr, "audit                %d checks passed in %v\n",
+				checked, st.Times.Audit.Round(1e6))
+		}
 	}
 	return nil
 }

@@ -86,6 +86,21 @@ func TestRunPolyRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRunAudit: an audited generation passes on real output and reports
+// the audit in the stats footer.
+func TestRunAudit(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run(context.Background(), fastArgs("-audit"), &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("no mesh written")
+	}
+	if !strings.Contains(errb.String(), "audit") {
+		t.Errorf("stats missing the audit line: %q", errb.String())
+	}
+}
+
 func TestRunFrontKernel(t *testing.T) {
 	var out, errb bytes.Buffer
 	if err := run(context.Background(), fastArgs("-q", "-kernel", "front"), &out, &errb); err != nil {

@@ -1,0 +1,249 @@
+package core
+
+// The optional audit stage: post-merge invariant verification of the final
+// mesh over the internal/audit check registry. Element-local checks are
+// chunked into jobs and fanned out across the ranks under the same
+// work-stealing balancer the meshing phases use; each rank ships its typed
+// violation findings and per-job measurements back to the root, which
+// reduces them into one audit.Report. A failed audit surfaces as a
+// *PhaseError for the "audit" stage wrapping an *audit.Error, attributed
+// to the rank that found the first violation — the same contract every
+// other stage failure follows.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"pamg2d/internal/audit"
+	"pamg2d/internal/loadbal"
+	"pamg2d/internal/mpi"
+)
+
+// kindAudit is the audit job task kind (test hooks see it like the meshing
+// kinds; audit jobs are not float-encoded, the task only carries an index
+// into the shared job list).
+const kindAudit = 100
+
+// auditChunk returns the element-range chunk size for local checks: small
+// enough to give the balancer several jobs per rank, bounded below so tiny
+// meshes do not shatter into per-element jobs.
+func auditChunk(n, ranks, perRank int) int {
+	c := n / (ranks * perRank)
+	if c < 256 {
+		c = 256
+	}
+	return c
+}
+
+// runAudit is the audit stage body.
+func runAudit(rc *RunCtx) error {
+	cfg := rc.cfg
+	if cfg.testMutateMesh != nil {
+		cfg.testMutateMesh(rc.res.Mesh)
+	}
+	s := &audit.Snapshot{
+		Mesh:     rc.res.Mesh,
+		Layers:   rc.layers,
+		BL:       cfg.BL,
+		Paths:    rc.pathEdges,
+		Farfield: rc.ffBox,
+		// The advancing-front kernel produces deliberately non-Delaunay
+		// inviscid elements; the empty-circumcircle audit only applies to
+		// the Delaunay pipeline.
+		SkipDelaunay: cfg.InviscidKernel == KernelAdvancingFront,
+	}
+	// Prepare the shared read-only lookup structures at the root, before
+	// any concurrent job execution.
+	s.Prepare()
+	checks := audit.All()
+	// The fold below derives each check's skipped flag from having no jobs,
+	// so PlanJobs' skip list is not needed separately.
+	jobs, _ := audit.PlanJobs(s, checks, auditChunk(s.Mesh.NumTriangles(), cfg.Ranks, cfg.SubdomainsPerRank))
+
+	results, err := runAuditJobs(rc, s, jobs)
+	if err != nil {
+		return err
+	}
+
+	// Reduce: fold the per-job findings into per-check statistics and the
+	// ordered violation list. Jobs are folded in plan order, so the report
+	// is deterministic regardless of which rank ran what.
+	rep := &audit.Report{}
+	violRank := -1
+	for _, c := range checks {
+		applicable := false
+		st := audit.CheckStat{Name: c.Name()}
+		for ji, j := range jobs {
+			if j.Check.Name() != c.Name() {
+				continue
+			}
+			applicable = true
+			r := results[ji]
+			if r == nil {
+				continue
+			}
+			st.Wall += r.wall
+			st.Allocs += r.allocs
+			st.Elements += j.Elements()
+			st.Violations += r.count
+			for _, v := range r.violations {
+				rep.Violations = append(rep.Violations, v)
+				if violRank < 0 {
+					violRank = v.Rank
+				}
+			}
+		}
+		if !applicable {
+			st.Skipped = true
+		}
+		rep.Checks = append(rep.Checks, st)
+		if !st.Skipped {
+			rc.stats.recordStage(StageStat{
+				Name:   StageAudit + "/" + st.Name,
+				Wall:   st.Wall,
+				Allocs: st.Allocs,
+			})
+		}
+	}
+	rc.stats.Audit = rep
+	if !rep.Ok() {
+		return &PhaseError{Stage: StageAudit, Rank: violRank, Err: rep.Error()}
+	}
+	return nil
+}
+
+// auditJobResult is one audit job's findings, shipped to the root by
+// reference but accounted at the size its serialized form would occupy
+// (fixed header plus the violation strings).
+type auditJobResult struct {
+	job        int32
+	wall       time.Duration
+	allocs     uint64
+	count      int
+	violations []audit.Violation
+}
+
+func (r *auditJobResult) wireBytes() int {
+	n := 32
+	for _, v := range r.violations {
+		n += 24 + len(v.Check) + len(v.Detail)
+	}
+	return n
+}
+
+// runAuditJobs executes the audit jobs under the load balancer on a fresh
+// world, mirroring runDistributed: jobs are dealt round-robin, stolen as
+// needed, and each rank sends its findings to the root. The snapshot and
+// job list are shared read-only (Prepare ran before the fan-out); only the
+// job index travels in the task vector.
+func runAuditJobs(rc *RunCtx, s *audit.Snapshot, jobs []audit.Job) ([]*auditJobResult, error) {
+	cfg := rc.cfg
+	hook := cfg.testTaskHook
+	world := mpi.NewWorld(cfg.Ranks)
+	win := world.NewWindow(cfg.Ranks)
+
+	tasks := make([]loadbal.Task, len(jobs))
+	for i, j := range jobs {
+		tasks[i] = loadbal.Task{
+			ID:   int32(i),
+			Cost: float64(j.Elements() + 1),
+			Vals: []float64{kindAudit, float64(i)},
+		}
+	}
+	initial := make([][]loadbal.Task, cfg.Ranks)
+	for i, t := range tasks {
+		initial[i%cfg.Ranks] = append(initial[i%cfg.Ranks], t)
+	}
+
+	var mu sync.Mutex
+	balStats := make([]loadbal.Stats, cfg.Ranks)
+	var taskErr *PhaseError
+
+	opt := loadbal.DefaultOptions(totalCost(tasks), cfg.Ranks)
+	err := world.RunCtx(rc.ctx, func(c *mpi.Comm) error {
+		bs, err := loadbal.Run(rc.ctx, c, win, initial[c.Rank()], len(tasks), opt, func(task loadbal.Task) {
+			if hook != nil {
+				if herr := hook(StageAudit, kindAudit); herr != nil {
+					mu.Lock()
+					if taskErr == nil {
+						taskErr = &PhaseError{Stage: StageAudit, Rank: c.Rank(), Err: fmt.Errorf("job %d: %w", task.ID, herr)}
+					}
+					mu.Unlock()
+					res := &auditJobResult{job: task.ID}
+					_ = c.SendRef(0, tagResult, res, res.wireBytes())
+					return
+				}
+			}
+			ji := int(task.Vals[1])
+			j := jobs[ji]
+			rep := audit.NewReporter(j.Check.Name(), c.Rank())
+			t0 := time.Now()
+			a0 := mallocCount()
+			j.Check.Run(s, j.From, j.To, rep)
+			// The allocation delta is read off the process-global counter, so
+			// concurrent jobs bleed into each other's numbers; the per-check
+			// totals are best-effort under parallel execution and exact at
+			// Ranks=1.
+			res := &auditJobResult{
+				job:        task.ID,
+				wall:       time.Since(t0),
+				allocs:     mallocCount() - a0,
+				count:      rep.Count(),
+				violations: rep.Violations(),
+			}
+			_ = c.SendRef(0, tagResult, res, res.wireBytes())
+		})
+		mu.Lock()
+		balStats[c.Rank()] = bs
+		mu.Unlock()
+		return err
+	})
+	// Error precedence mirrors runDistributed: cancellation, then
+	// rank/world failures, then the first injected task failure.
+	if rc.ctx.Err() != nil {
+		return nil, &PhaseError{Stage: StageAudit, Rank: -1, Err: context.Cause(rc.ctx)}
+	}
+	if err != nil {
+		return nil, phaseError(StageAudit, err)
+	}
+	mu.Lock()
+	firstTaskErr := taskErr
+	mu.Unlock()
+	if firstTaskErr != nil {
+		return nil, firstTaskErr
+	}
+
+	results := make([]*auditJobResult, len(jobs))
+	collected := 0
+	err = world.RunCtx(rc.ctx, func(c *mpi.Comm) error {
+		if c.Rank() != 0 {
+			return nil
+		}
+		for collected < len(jobs) {
+			ref, _, _, ok := c.TryRecvRef(mpi.AnySource, tagResult)
+			if !ok {
+				break
+			}
+			if r, ok := ref.(*auditJobResult); ok {
+				results[r.job] = r
+				collected++
+			}
+		}
+		return nil
+	})
+	if rc.ctx.Err() != nil {
+		return nil, &PhaseError{Stage: StageAudit, Rank: -1, Err: context.Cause(rc.ctx)}
+	}
+	if err != nil {
+		return nil, phaseError(StageAudit, err)
+	}
+	if collected != len(jobs) {
+		return nil, &PhaseError{Stage: StageAudit, Rank: -1, Err: fmt.Errorf("collected %d of %d audit job results", collected, len(jobs))}
+	}
+	rc.stats.LoadBalance = append(rc.stats.LoadBalance, balStats...)
+	rc.wireMsgs += world.Stats().Messages.Load()
+	rc.wireBytes += world.Stats().Bytes.Load()
+	return results, nil
+}

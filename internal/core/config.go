@@ -26,8 +26,10 @@ import (
 	"time"
 
 	"pamg2d/internal/airfoil"
+	"pamg2d/internal/audit"
 	"pamg2d/internal/blayer"
 	"pamg2d/internal/loadbal"
+	"pamg2d/internal/mesh"
 	"pamg2d/internal/pslg"
 	"pamg2d/internal/sizing"
 )
@@ -74,12 +76,24 @@ type Config struct {
 	// decomposition silently falls back to a single task when the
 	// boundary-layer outer boundary is not a single simple loop.
 	TransitionSectors int
+	// Audit enables the post-merge invariant-verification stage: the
+	// merged mesh is audited against the internal/audit check registry
+	// (exact-predicate Delaunay, topology, boundary-layer and decoupling
+	// invariants), with element-local checks fanned out across the ranks.
+	// Violations fail the run with a *PhaseError for the "audit" stage
+	// wrapping an *audit.Error; the full report lands in Stats.Audit
+	// either way.
+	Audit bool
 
 	// testTaskHook, when set (tests only), runs at the start of every
 	// distributed task's execution with the stage name and task kind; a
 	// non-nil return fails the task on the rank executing it. The stage
 	// engine tests use it to cancel or fail mid-phase deterministically.
 	testTaskHook func(stage string, kind int) error
+	// testMutateMesh, when set (tests only), runs on the merged mesh
+	// before the audit stage inspects it; the failure-path tests corrupt
+	// the mesh here to prove violations surface as stage errors.
+	testMutateMesh func(*mesh.Mesh)
 }
 
 // Kernel identifies a sequential meshing kernel for the inviscid regions.
@@ -115,6 +129,7 @@ type PhaseTimes struct {
 	Decompose time.Duration
 	Parallel  time.Duration
 	Merge     time.Duration
+	Audit     time.Duration
 	Total     time.Duration
 }
 
@@ -129,6 +144,7 @@ type PhaseAllocs struct {
 	Decompose uint64
 	Parallel  uint64
 	Merge     uint64
+	Audit     uint64
 	Total     uint64
 }
 
@@ -160,4 +176,8 @@ type Stats struct {
 	Allocs      PhaseAllocs
 	Messages    int64
 	BytesOnWire int64
+	// Audit is the invariant-verification report of the optional audit
+	// stage (nil when Config.Audit is off). It is populated even when the
+	// audit fails the run.
+	Audit *audit.Report
 }

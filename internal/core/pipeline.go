@@ -47,7 +47,14 @@ func GenerateContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	res := &Result{}
 	rc := &RunCtx{ctx: ctx, cfg: cfg, stats: &res.Stats, res: res}
-	if err := rc.runStages(pipeline); err != nil {
+	stages := pipeline
+	if cfg.Audit {
+		// Fresh slice: the shared pipeline list must not grow an audit stage
+		// for runs that did not ask for one.
+		stages = append(append(make([]Stage, 0, len(pipeline)+1), pipeline...),
+			stageFunc{StageAudit, runAudit})
+	}
+	if err := rc.runStages(stages); err != nil {
 		return nil, err
 	}
 	return res, nil

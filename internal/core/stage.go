@@ -36,6 +36,11 @@ const (
 	StageBLTriangulation = "bl-triangulation"
 	StageInviscid        = "inviscid"
 	StageMerge           = "merge"
+	// StageAudit is the optional seventh stage (Config.Audit): post-merge
+	// invariant verification over the internal/audit check registry. Its
+	// per-check measurements are recorded as additional "audit/<check>"
+	// StageStat entries ahead of the engine's own "audit" summary entry.
+	StageAudit = "audit"
 )
 
 // Stage is one pipeline phase: a named unit of work over the shared run
@@ -113,6 +118,11 @@ type RunCtx struct {
 	outerPts   []geom.Point // bl-triangulation: BL outer boundary
 	outerSegs  [][2]int32
 	isoTris    []float64 // inviscid: transition + inviscid triangles
+	// pathEdges are the constrained/decoupling edges of the final mesh
+	// (BL outer boundary, near-body box border, sector cuts, decoupled
+	// region borders) as exact endpoint pairs; collected by the inviscid
+	// stage only when cfg.Audit, for the audit stage's Snapshot.
+	pathEdges [][2]geom.Point
 
 	// Wire counters for the stage in flight, reset by the engine around
 	// each stage and folded into the stats by recordStage.
@@ -187,6 +197,12 @@ func (st *Stats) recordStage(s StageStat) {
 	case StageMerge:
 		st.Times.Merge += s.Wall
 		st.Allocs.Merge += s.Allocs
+	case StageAudit:
+		// The per-check "audit/<check>" entries deliberately fall through to
+		// no bucket: only the stage summary feeds the aggregate, so the
+		// bucket is not double-counted.
+		st.Times.Audit += s.Wall
+		st.Allocs.Audit += s.Allocs
 	}
 }
 

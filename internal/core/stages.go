@@ -240,6 +240,24 @@ func prepareInviscid(rc *RunCtx) ([]loadbal.Task, taskCtx, mergeFunc, error) {
 	if transInputs == nil {
 		transInputs = []delaunay.Input{transIn}
 	}
+	if cfg.Audit {
+		// Collect every constrained/decoupling edge for the audit stage:
+		// the transition inputs' segments (BL outer boundary, near-body box
+		// border, sector cuts) and the decoupled region borders. All of
+		// them are refined with NoSplitSegments, so each must survive
+		// verbatim as a conforming edge of the merged mesh.
+		for _, ti := range transInputs {
+			for _, s := range ti.Segments {
+				rc.pathEdges = append(rc.pathEdges, [2]geom.Point{ti.Points[s[0]], ti.Points[s[1]]})
+			}
+		}
+		for _, r := range regions {
+			n := len(r.Border)
+			for k := 0; k < n; k++ {
+				rc.pathEdges = append(rc.pathEdges, [2]geom.Point{r.Border[k], r.Border[(k+1)%n]})
+			}
+		}
+	}
 	for _, ti := range transInputs {
 		tasks = append(tasks, loadbal.Task{
 			ID:   int32(len(tasks)),

@@ -44,6 +44,33 @@ func (m *Mesh) WriteVTK(w io.Writer, cellData []float64) error {
 	return bw.Flush()
 }
 
+// ElemRefError reports an element referencing a vertex index outside the
+// mesh's point array — the corruption the readers validate against so a
+// truncated or hand-edited file surfaces as a typed read error instead of
+// an index panic in whatever consumes the mesh next.
+type ElemRefError struct {
+	Elem      int   // element (triangle) index
+	Vertex    int32 // the out-of-range vertex reference
+	NumPoints int   // size of the point array it must index
+}
+
+func (e *ElemRefError) Error() string {
+	return fmt.Sprintf("mesh: element %d references node %d of %d", e.Elem, e.Vertex, e.NumPoints)
+}
+
+// validateTriangles bounds-checks every vertex reference of every triangle.
+func validateTriangles(m *Mesh) error {
+	np := int32(len(m.Points))
+	for i, t := range m.Triangles {
+		for _, v := range t {
+			if v < 0 || v >= np {
+				return &ElemRefError{Elem: i, Vertex: v, NumPoints: int(np)}
+			}
+		}
+	}
+	return nil
+}
+
 // ReadASCII reads a mesh written by WriteASCII (Triangle's .node/.ele
 // sections concatenated).
 func ReadASCII(r io.Reader) (*Mesh, error) {
@@ -86,7 +113,7 @@ func ReadASCII(r io.Reader) (*Mesh, error) {
 		}
 		for _, v := range []int32{a, b, c} {
 			if v < 0 || int(v) >= np {
-				return nil, fmt.Errorf("mesh: element %d references node %d of %d", idx, v, np)
+				return nil, &ElemRefError{Elem: idx, Vertex: v, NumPoints: np}
 			}
 		}
 		m.Triangles[idx] = [3]int32{a, b, c}

@@ -2,6 +2,8 @@ package mesh
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -46,6 +48,61 @@ func TestReadASCIIErrors(t *testing.T) {
 		if _, err := ReadASCII(strings.NewReader(c.data)); err == nil {
 			t.Errorf("%s: want error", c.name)
 		}
+	}
+}
+
+// TestReadASCIIElemRefTyped: an element referencing a missing node must
+// surface as the typed *ElemRefError with element and vertex attribution.
+func TestReadASCIIElemRefTyped(t *testing.T) {
+	_, err := ReadASCII(strings.NewReader("1 2 0 0\n0 1 2\n1 3 0\n0 0 1 2\n"))
+	var re *ElemRefError
+	if !errors.As(err, &re) {
+		t.Fatalf("error is %T (%v), want *ElemRefError", err, err)
+	}
+	if re.Elem != 0 || re.Vertex != 1 || re.NumPoints != 1 {
+		t.Errorf("ElemRefError = %+v, want element 0 vertex 1 of 1 points", re)
+	}
+}
+
+// TestReadBinaryValidation: the binary reader must reject out-of-range
+// element references (typed error, no panic downstream) and absurd header
+// counts instead of attempting the allocation.
+func TestReadBinaryValidation(t *testing.T) {
+	m := unitSquareMesh()
+	var buf bytes.Buffer
+	if err := m.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Corrupt one vertex index of element 1 to point past the point array.
+	// Layout: 12-byte header, 2*np float64 coords, then int32 indices.
+	bad := append([]byte(nil), good...)
+	idxOff := 12 + 16*m.NumPoints() + 4*(3*1+2)
+	binary.LittleEndian.PutUint32(bad[idxOff:], uint32(int32(m.NumPoints()+9)))
+	_, err := ReadBinary(bytes.NewReader(bad))
+	var re *ElemRefError
+	if !errors.As(err, &re) {
+		t.Fatalf("corrupted index error is %T (%v), want *ElemRefError", err, err)
+	}
+	if re.Elem != 1 || re.Vertex != int32(m.NumPoints()+9) {
+		t.Errorf("ElemRefError = %+v, want element 1 vertex %d", re, m.NumPoints()+9)
+	}
+
+	// Corrupt the point count in the header beyond the format limit.
+	bad = append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(bad[4:], 1<<31)
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil || errors.As(err, &re) {
+		t.Errorf("absurd header count: err = %v, want a header error", err)
+	}
+
+	// The untouched stream still reads back.
+	got, err := ReadBinary(bytes.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTriangles() != m.NumTriangles() {
+		t.Errorf("round trip lost triangles: %d vs %d", got.NumTriangles(), m.NumTriangles())
 	}
 }
 

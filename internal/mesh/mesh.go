@@ -267,7 +267,16 @@ func (m *Mesh) WriteBinary(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadBinary reads a mesh written by WriteBinary.
+// maxBinaryCount caps the header point/triangle counts ReadBinary accepts.
+// A corrupted header would otherwise drive multi-gigabyte allocations
+// before the short read is even noticed; int32 element indexing bounds the
+// real range anyway.
+const maxBinaryCount = 1 << 30
+
+// ReadBinary reads a mesh written by WriteBinary, validating the header
+// counts and every element's vertex references (an out-of-range reference
+// returns an *ElemRefError) so a corrupted file fails the read instead of
+// panicking a consumer.
 func ReadBinary(r io.Reader) (*Mesh, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var hdr [3]uint32
@@ -276,6 +285,9 @@ func ReadBinary(r io.Reader) (*Mesh, error) {
 	}
 	if hdr[0] != binaryMagic {
 		return nil, fmt.Errorf("mesh: bad magic %#x", hdr[0])
+	}
+	if hdr[1] > maxBinaryCount || hdr[2] > maxBinaryCount {
+		return nil, fmt.Errorf("mesh: header counts %d points / %d triangles exceed the format limit", hdr[1], hdr[2])
 	}
 	np, nt := int(hdr[1]), int(hdr[2])
 	coords := make([]float64, 2*np)
@@ -292,6 +304,9 @@ func ReadBinary(r io.Reader) (*Mesh, error) {
 	}
 	for i := 0; i < nt; i++ {
 		m.Triangles[i] = [3]int32{idx[3*i], idx[3*i+1], idx[3*i+2]}
+	}
+	if err := validateTriangles(m); err != nil {
+		return nil, err
 	}
 	return m, nil
 }
