@@ -33,6 +33,7 @@ import (
 	"pamg2d/internal/benchcfg"
 	"pamg2d/internal/core"
 	"pamg2d/internal/project"
+	"pamg2d/internal/trace"
 )
 
 // benchResult is one benchmark's measured cost, the same triple `go test
@@ -101,7 +102,7 @@ func run(ctx context.Context, args []string) error {
 	for _, ranks := range []int{1, 2, 4} {
 		name := fmt.Sprintf("PushButton/%d-ranks", ranks)
 		fmt.Fprintf(os.Stderr, "running %s...\n", name)
-		r, err := runPushButton(ctx, ranks, false, *benchtime)
+		r, err := runPushButton(ctx, ranks, false, false, *benchtime)
 		if err != nil {
 			return err
 		}
@@ -111,11 +112,22 @@ func run(ctx context.Context, args []string) error {
 	// PushButton/1-ranks plus the invariant-audit stage. The allocation
 	// guard stays on the unaudited single-rank entry.
 	fmt.Fprintln(os.Stderr, "running PushButton/1-ranks-audit...")
-	ra, err := runPushButton(ctx, 1, true, *benchtime)
+	ra, err := runPushButton(ctx, 1, true, false, *benchtime)
 	if err != nil {
 		return err
 	}
 	e.Benchmarks["PushButton/1-ranks-audit"] = ra
+	// The traced run tracks the span tracer's overhead: same workload as
+	// PushButton/1-ranks with a fresh tracer recording every span. Against
+	// the guarded untraced entry this column is the tracer's price; the
+	// guard itself stays on the untraced entry, which is what proves the
+	// disabled tracer allocation-neutral.
+	fmt.Fprintln(os.Stderr, "running PushButton/1-ranks-traced...")
+	rt, err := runPushButton(ctx, 1, false, true, *benchtime)
+	if err != nil {
+		return err
+	}
+	e.Benchmarks["PushButton/1-ranks-traced"] = rt
 	fmt.Fprintln(os.Stderr, "running Fig08Decompose128...")
 	r, err := runFig08(*benchtime)
 	if err != nil {
@@ -194,9 +206,11 @@ func neutral(label, what string, prev, cur int64) error {
 
 // runPushButton measures the full pipeline at the given rank count on the
 // shared scaled-down configuration (identical to BenchmarkPushButton; with
-// audit set, to BenchmarkPushButtonAudited). A canceled ctx aborts between
-// (and, via the stage engine, inside) iterations.
-func runPushButton(ctx context.Context, ranks int, audit bool, benchtime time.Duration) (benchResult, error) {
+// audit set, to BenchmarkPushButtonAudited). With traced set, every
+// iteration runs under a fresh span tracer so the measurement includes the
+// recorder's full cost (buffer growth included). A canceled ctx aborts
+// between (and, via the stage engine, inside) iterations.
+func runPushButton(ctx context.Context, ranks int, audit, traced bool, benchtime time.Duration) (benchResult, error) {
 	cfg := benchcfg.PushButton()
 	cfg.Ranks = ranks
 	cfg.Audit = audit
@@ -204,6 +218,9 @@ func runPushButton(ctx context.Context, ranks int, audit bool, benchtime time.Du
 	r := bench(benchtime, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
+			if traced {
+				cfg.Tracer = trace.New(cfg.Ranks)
+			}
 			if _, err := core.GenerateContext(ctx, cfg); err != nil {
 				genErr = err
 				b.FailNow()

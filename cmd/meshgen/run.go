@@ -12,7 +12,9 @@ import (
 	"pamg2d/internal/airfoil"
 	"pamg2d/internal/core"
 	"pamg2d/internal/growth"
+	"pamg2d/internal/mpi"
 	"pamg2d/internal/pslg"
+	"pamg2d/internal/trace"
 )
 
 // run executes the meshgen CLI with explicit argument and output streams
@@ -22,26 +24,28 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("meshgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		geometry  = fs.String("geometry", "naca0012", "geometry: naca0012 | 30p30n (ignored with -input)")
-		input     = fs.String("input", "", "read the PSLG from a Triangle .poly file instead of -geometry")
-		writePoly = fs.String("write-poly", "", "also write the generated PSLG to this .poly file")
-		nHalf     = fs.Int("n", 64, "surface resolution (half-points per element)")
-		ranks     = fs.Int("ranks", 4, "simulated MPI ranks")
-		farfield  = fs.Float64("farfield", 30, "far-field half-width in chords")
-		h0        = fs.Float64("bl-h0", 4e-4, "first boundary-layer height")
-		ratio     = fs.Float64("bl-ratio", 1.25, "boundary-layer growth ratio")
-		layersMax = fs.Int("bl-layers", 40, "maximum boundary layers")
-		surfaceH  = fs.Float64("h0", 0.02, "isotropic surface edge length")
-		gradation = fs.Float64("gradation", 0.15, "sizing growth with distance")
-		hmax      = fs.Float64("hmax", 4.0, "far-field edge length cap")
-		kernel    = fs.String("kernel", "ruppert", "inviscid kernel: ruppert | front")
-		auditRun  = fs.Bool("audit", false, "verify mesh invariants after the merge (fails the run on violations)")
-		format    = fs.String("format", "ascii", "output format: ascii | binary | vtk")
-		out       = fs.String("o", "", "output file (default stdout)")
-		quiet     = fs.Bool("q", false, "suppress statistics")
-		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memProf   = fs.String("memprofile", "", "write a pprof heap profile to this file")
-		timeout   = fs.Duration("timeout", 0, "abort generation after this duration (0 = no limit)")
+		geometry   = fs.String("geometry", "naca0012", "geometry: naca0012 | 30p30n (ignored with -input)")
+		input      = fs.String("input", "", "read the PSLG from a Triangle .poly file instead of -geometry")
+		writePoly  = fs.String("write-poly", "", "also write the generated PSLG to this .poly file")
+		nHalf      = fs.Int("n", 64, "surface resolution (half-points per element)")
+		ranks      = fs.Int("ranks", 4, "simulated MPI ranks")
+		farfield   = fs.Float64("farfield", 30, "far-field half-width in chords")
+		h0         = fs.Float64("bl-h0", 4e-4, "first boundary-layer height")
+		ratio      = fs.Float64("bl-ratio", 1.25, "boundary-layer growth ratio")
+		layersMax  = fs.Int("bl-layers", 40, "maximum boundary layers")
+		surfaceH   = fs.Float64("h0", 0.02, "isotropic surface edge length")
+		gradation  = fs.Float64("gradation", 0.15, "sizing growth with distance")
+		hmax       = fs.Float64("hmax", 4.0, "far-field edge length cap")
+		kernel     = fs.String("kernel", "ruppert", "inviscid kernel: ruppert | front")
+		auditRun   = fs.Bool("audit", false, "verify mesh invariants after the merge (fails the run on violations)")
+		format     = fs.String("format", "ascii", "output format: ascii | binary | vtk")
+		out        = fs.String("o", "", "output file (default stdout)")
+		quiet      = fs.Bool("q", false, "suppress statistics")
+		cpuProf    = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf    = fs.String("memprofile", "", "write a pprof heap profile to this file")
+		traceOut   = fs.String("trace", "", "write a Chrome trace-event file of the run (load in Perfetto / chrome://tracing)")
+		metricsOut = fs.String("metrics", "", "write the run-metrics registry (counters/gauges/histograms) as JSON")
+		timeout    = fs.Duration("timeout", 0, "abort generation after this duration (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -138,7 +142,34 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown kernel %q", *kernel)
 	}
 
+	var tracer *trace.Tracer
+	if *traceOut != "" || *metricsOut != "" {
+		tracer = trace.New(cfg.Ranks)
+		cfg.Tracer = tracer
+	}
+	poolGets0, poolPuts0 := mpi.PoolCounters()
+
 	res, err := core.GenerateContext(ctx, cfg)
+
+	// Export the trace and metrics even when generation failed: the
+	// partial record of an aborted run is usually the record being
+	// debugged. The generation error still wins the exit status.
+	if tracer != nil {
+		g, p := mpi.PoolCounters()
+		m := tracer.Metrics()
+		m.Gauge("mpi.pool.gets", float64(g-poolGets0))
+		m.Gauge("mpi.pool.puts", float64(p-poolPuts0))
+		if g > poolGets0 {
+			m.Gauge("mpi.pool.recycle_rate", float64(p-poolPuts0)/float64(g-poolGets0))
+		}
+		if werr := writeObservability(tracer, *traceOut, *metricsOut); werr != nil {
+			if err == nil {
+				err = werr
+			} else {
+				fmt.Fprintf(stderr, "meshgen: %v\n", werr)
+			}
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -179,6 +210,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			len(st.Tasks), cfg.Ranks, st.Messages, st.BytesOnWire)
 		fmt.Fprintf(stderr, "time                 total %v (BL %v, parallel %v)\n",
 			st.Times.Total.Round(1e6), st.Times.Boundary.Round(1e6), st.Times.Parallel.Round(1e6))
+		if st.Steals.Requests > 0 || st.Steals.Gotten > 0 {
+			fmt.Fprintf(stderr, "steals               %d of %d requests granted, %v total idle\n",
+				st.Steals.Granted, st.Steals.Requests, st.Steals.Idle.Round(1e6))
+		}
 		if st.Audit != nil {
 			checked := 0
 			for _, c := range st.Audit.Checks {
@@ -188,6 +223,33 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			}
 			fmt.Fprintf(stderr, "audit                %d checks passed in %v\n",
 				checked, st.Times.Audit.Round(1e6))
+		}
+	}
+	return nil
+}
+
+// writeObservability exports the tracer's Chrome trace-event file and/or
+// run-metrics registry to the requested paths (either may be empty).
+func writeObservability(tr *trace.Tracer, tracePath, metricsPath string) error {
+	write := func(path string, emit func(w io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if tracePath != "" {
+		if err := write(tracePath, tr.WriteTrace); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+	}
+	if metricsPath != "" {
+		if err := write(metricsPath, tr.Metrics().WriteMetrics); err != nil {
+			return fmt.Errorf("write metrics: %w", err)
 		}
 	}
 	return nil

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -10,6 +11,7 @@ import (
 	"testing"
 
 	"pamg2d/internal/core"
+	"pamg2d/internal/trace"
 )
 
 func fastArgs(extra ...string) []string {
@@ -108,6 +110,65 @@ func TestRunFrontKernel(t *testing.T) {
 	}
 	if out.Len() == 0 {
 		t.Fatal("no mesh written")
+	}
+}
+
+// TestRunTraceAndMetrics: -trace and -metrics write validating files, and
+// the trace has one process track per rank plus the root pipeline track.
+func TestRunTraceAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.json")
+	var out, errb bytes.Buffer
+	args := fastArgs("-q", "-ranks", "2", "-audit",
+		"-trace", tracePath, "-metrics", metricsPath)
+	if err := run(context.Background(), args, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	tf, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	events, err := trace.ValidateTrace(tf)
+	if err != nil {
+		t.Fatalf("trace file invalid: %v", err)
+	}
+	if events == 0 {
+		t.Fatal("trace file has no events")
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tj struct {
+		TraceEvents []struct {
+			Ph  string  `json:"ph"`
+			PID float64 `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tj); err != nil {
+		t.Fatal(err)
+	}
+	pids := map[float64]bool{}
+	for _, e := range tj.TraceEvents {
+		if e.Ph == "X" || e.Ph == "i" {
+			pids[e.PID] = true
+		}
+	}
+	for pid := 0; pid <= 2; pid++ { // root track + one per rank at -ranks 2
+		if !pids[float64(pid)] {
+			t.Errorf("no events on process track %d", pid)
+		}
+	}
+
+	mf, err := os.Open(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	if err := trace.ValidateMetrics(mf); err != nil {
+		t.Fatalf("metrics file invalid: %v", err)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"pamg2d/internal/audit"
 	"pamg2d/internal/loadbal"
 	"pamg2d/internal/mpi"
+	"pamg2d/internal/trace"
 )
 
 // kindAudit is the audit job task kind (test hooks see it like the meshing
@@ -141,7 +142,9 @@ func (r *auditJobResult) wireBytes() int {
 func runAuditJobs(rc *RunCtx, s *audit.Snapshot, jobs []audit.Job) ([]*auditJobResult, error) {
 	cfg := rc.cfg
 	hook := cfg.testTaskHook
+	tr := rc.tracer
 	world := mpi.NewWorld(cfg.Ranks)
+	world.SetTracer(tr)
 	win := world.NewWindow(cfg.Ranks)
 
 	tasks := make([]loadbal.Task, len(jobs))
@@ -159,9 +162,11 @@ func runAuditJobs(rc *RunCtx, s *audit.Snapshot, jobs []audit.Job) ([]*auditJobR
 
 	var mu sync.Mutex
 	balStats := make([]loadbal.Stats, cfg.Ranks)
+	perRank := make([]RankStat, cfg.Ranks)
 	var taskErr *PhaseError
 
 	opt := loadbal.DefaultOptions(totalCost(tasks), cfg.Ranks)
+	opt.Tracer = tr
 	err := world.RunCtx(rc.ctx, func(c *mpi.Comm) error {
 		bs, err := loadbal.Run(rc.ctx, c, win, initial[c.Rank()], len(tasks), opt, func(task loadbal.Task) {
 			if hook != nil {
@@ -179,6 +184,7 @@ func runAuditJobs(rc *RunCtx, s *audit.Snapshot, jobs []audit.Job) ([]*auditJobR
 			ji := int(task.Vals[1])
 			j := jobs[ji]
 			rep := audit.NewReporter(j.Check.Name(), c.Rank())
+			sp := tr.Begin(c.Rank(), trace.CatAudit, StageAudit+"/"+j.Check.Name())
 			t0 := time.Now()
 			a0 := mallocCount()
 			j.Check.Run(s, j.From, j.To, rep)
@@ -186,13 +192,24 @@ func runAuditJobs(rc *RunCtx, s *audit.Snapshot, jobs []audit.Job) ([]*auditJobR
 			// concurrent jobs bleed into each other's numbers; the per-check
 			// totals are best-effort under parallel execution and exact at
 			// Ranks=1.
+			dt := time.Since(t0)
 			res := &auditJobResult{
 				job:        task.ID,
-				wall:       time.Since(t0),
+				wall:       dt,
 				allocs:     mallocCount() - a0,
 				count:      rep.Count(),
 				violations: rep.Violations(),
 			}
+			if tr.Enabled() {
+				sp.End(trace.I("job", int(task.ID)),
+					trace.I("elements", j.Elements()),
+					trace.I("violations", rep.Count()))
+				tr.Metrics().Observe("audit.job_seconds", dt.Seconds())
+			}
+			mu.Lock()
+			perRank[c.Rank()].Tasks++
+			perRank[c.Rank()].Busy += dt
+			mu.Unlock()
 			_ = c.SendRef(0, tagResult, res, res.wireBytes())
 		})
 		mu.Lock()
@@ -242,7 +259,7 @@ func runAuditJobs(rc *RunCtx, s *audit.Snapshot, jobs []audit.Job) ([]*auditJobR
 	if collected != len(jobs) {
 		return nil, &PhaseError{Stage: StageAudit, Rank: -1, Err: fmt.Errorf("collected %d of %d audit job results", collected, len(jobs))}
 	}
-	rc.stats.LoadBalance = append(rc.stats.LoadBalance, balStats...)
+	rc.foldBalancer(perRank, balStats)
 	rc.wireMsgs += world.Stats().Messages.Load()
 	rc.wireBytes += world.Stats().Bytes.Load()
 	return results, nil

@@ -32,6 +32,7 @@ import (
 	"pamg2d/internal/mesh"
 	"pamg2d/internal/pslg"
 	"pamg2d/internal/sizing"
+	"pamg2d/internal/trace"
 )
 
 // Config is the push-button input: geometry plus boundary-layer
@@ -76,6 +77,14 @@ type Config struct {
 	// decomposition silently falls back to a single task when the
 	// boundary-layer outer boundary is not a single simple loop.
 	TransitionSectors int
+	// Tracer, when non-nil, records the run for offline inspection: every
+	// stage, per-rank task execution, steal transfer, audit check, and
+	// MPI send becomes a rank-attributed span or event, exportable as a
+	// Chrome trace-event file (trace.Tracer.WriteTrace) with a companion
+	// run-metrics registry (Tracer.Metrics). The default nil tracer is
+	// free in the hot paths beyond a single nil check per instrumentation
+	// site — benchreport's -guard gate holds with tracing disabled.
+	Tracer *trace.Tracer
 	// Audit enables the post-merge invariant-verification stage: the
 	// merged mesh is audited against the internal/audit check registry
 	// (exact-predicate Delaunay, topology, boundary-layer and decoupling
@@ -148,6 +157,23 @@ type PhaseAllocs struct {
 	Total     uint64
 }
 
+// StealStats aggregates the work-stealing balancer's per-rank counters
+// over the whole run (all distributed stages, audit included). It is the
+// load-balancer behavior of the paper's Figures 9–11 in summary form:
+// Gotten/Requests is the steal success rate, and Idle against the stage
+// walls is the rank-skew signal.
+type StealStats struct {
+	// Requests counts steal requests issued by underloaded ranks.
+	Requests int
+	// Granted counts requests satisfied by a victim handing over a task.
+	Granted int
+	// Gotten counts tasks that arrived on a thief; it equals Granted for
+	// a run that completed (every granted task is delivered in-process).
+	Gotten int
+	// Idle is the summed time mesher goroutines spent waiting for work.
+	Idle time.Duration
+}
+
 // TaskMeasure is one task's measured execution, the calibration input of
 // the strong-scaling model.
 type TaskMeasure struct {
@@ -167,7 +193,16 @@ type Stats struct {
 	TotalTriangles   int
 	BLLayerStats     []blayer.Stats
 	Tasks            []TaskMeasure
-	LoadBalance      []loadbal.Stats
+	// LoadBalance holds the balancer's raw per-rank records, appended in
+	// stage order: each distributed stage (and the audit stage) contributes
+	// Ranks consecutive entries. The Steals aggregate and the per-stage
+	// StageStat.Ranks summaries are folded from these, so the balancer's
+	// behavior is reachable from Result without a tracer attached.
+	LoadBalance []loadbal.Stats
+	// Steals is the run-wide fold of the balancer counters across every
+	// distributed stage: how often ranks asked for work, how many tasks
+	// changed hands, and the total time meshers spent waiting for work.
+	Steals StealStats
 	// Stages is the ordered per-stage record written by the engine's
 	// stats hook; the PhaseTimes/PhaseAllocs aggregates below are derived
 	// from it (the two boundary-layer stages sum into Boundary).

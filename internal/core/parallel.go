@@ -14,6 +14,7 @@ import (
 	"pamg2d/internal/mpi"
 	"pamg2d/internal/project"
 	"pamg2d/internal/sizing"
+	"pamg2d/internal/trace"
 )
 
 // Message tags of the pipeline's own protocol (distinct from the
@@ -29,6 +30,24 @@ const (
 	kindInviscid
 	kindRayBatch
 )
+
+// taskKindName labels a task's trace span by its payload kind.
+func taskKindName(vals []float64) string {
+	if len(vals) == 0 {
+		return "task"
+	}
+	switch int(vals[0]) {
+	case kindBLLeaf:
+		return "task/bl-leaf"
+	case kindTransition:
+		return "task/transition"
+	case kindInviscid:
+		return "task/inviscid"
+	case kindRayBatch:
+		return "task/ray-batch"
+	}
+	return "task"
+}
 
 // blLeafVals builds a projection-decomposition leaf task: kind, the owned
 // circumcenter region, then the x-sorted points. The slice is allocated at
@@ -226,7 +245,9 @@ func runDistributed(rc *RunCtx, stage string, tasks []loadbal.Task, tctx taskCtx
 		hook := cfg.testTaskHook
 		tctx.hook = func(kind int) error { return hook(stage, kind) }
 	}
+	tr := rc.tracer
 	world := mpi.NewWorld(cfg.Ranks)
+	world.SetTracer(tr)
 	win := world.NewWindow(cfg.Ranks)
 
 	// Deal tasks round-robin (the root would send them in a distributed
@@ -241,18 +262,29 @@ func runDistributed(rc *RunCtx, stage string, tasks []loadbal.Task, tctx taskCtx
 	var mu sync.Mutex
 	measures := make([]TaskMeasure, len(tasks))
 	balStats := make([]loadbal.Stats, cfg.Ranks)
+	perRank := make([]RankStat, cfg.Ranks)
 	var taskErr *PhaseError
 
 	opt := loadbal.DefaultOptions(totalCost(tasks), cfg.Ranks)
+	opt.Tracer = tr
 	err := world.RunCtx(rc.ctx, func(c *mpi.Comm) error {
 		bs, err := loadbal.Run(rc.ctx, c, win, initial[c.Rank()], len(tasks), opt, func(task loadbal.Task) {
 			vals := task.Vals
 			if vals == nil && task.Payload != nil {
 				vals = mpi.DecodeFloats(task.Payload)
 			}
+			var sp trace.Span
+			if tr.Enabled() {
+				sp = tr.Begin(c.Rank(), trace.CatTask, taskKindName(vals))
+			}
 			t0 := time.Now()
 			tris, perr := processTaskCtx(vals, tctx)
 			dt := time.Since(t0)
+			if tr.Enabled() {
+				sp.End(trace.I("id", int(task.ID)), trace.F("cost", task.Cost),
+					trace.I("tris", len(tris)/6))
+				tr.Metrics().Observe("task.seconds", dt.Seconds())
+			}
 			if perr != nil {
 				mu.Lock()
 				if taskErr == nil {
@@ -268,6 +300,8 @@ func runDistributed(rc *RunCtx, stage string, tasks []loadbal.Task, tctx taskCtx
 				BoundaryLayer: task.BoundaryLayer,
 				Triangles:     len(tris) / 6,
 			}
+			perRank[c.Rank()].Tasks++
+			perRank[c.Rank()].Busy += dt
 			mu.Unlock()
 			// Ship the result to the root ahead of the completion message,
 			// by reference but accounted at its serialized size. A failed
@@ -332,10 +366,32 @@ func runDistributed(rc *RunCtx, stage string, tasks []loadbal.Task, tctx taskCtx
 	}
 
 	rc.stats.Tasks = append(rc.stats.Tasks, measures...)
-	rc.stats.LoadBalance = append(rc.stats.LoadBalance, balStats...)
+	rc.foldBalancer(perRank, balStats)
 	rc.wireMsgs += world.Stats().Messages.Load()
 	rc.wireBytes += world.Stats().Bytes.Load()
 	return results, nil
+}
+
+// foldBalancer folds one distributed stage's per-rank execution summary
+// and balancer counters into the run statistics: the raw records append
+// to Stats.LoadBalance, the steal and idle totals accumulate into
+// Stats.Steals, and the combined per-rank summary becomes the stage's
+// StageStat.Ranks via rc.stageRanks. perRank arrives with Tasks/Busy
+// already accumulated by the executor's callback.
+func (rc *RunCtx) foldBalancer(perRank []RankStat, balStats []loadbal.Stats) {
+	for r := range perRank {
+		perRank[r].Rank = r
+		perRank[r].Idle = balStats[r].IdleTime
+		perRank[r].StealRequests = balStats[r].StealRequests
+		perRank[r].StealsGranted = balStats[r].StealsGranted
+		perRank[r].StealsGotten = balStats[r].StealsGotten
+		rc.stats.Steals.Requests += balStats[r].StealRequests
+		rc.stats.Steals.Granted += balStats[r].StealsGranted
+		rc.stats.Steals.Gotten += balStats[r].StealsGotten
+		rc.stats.Steals.Idle += balStats[r].IdleTime
+	}
+	rc.stats.LoadBalance = append(rc.stats.LoadBalance, balStats...)
+	rc.stageRanks = perRank
 }
 
 func totalCost(tasks []loadbal.Task) float64 {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strconv"
 
 	"pamg2d/internal/blayer"
 	"pamg2d/internal/decouple"
@@ -12,6 +13,7 @@ import (
 	"pamg2d/internal/mesh"
 	"pamg2d/internal/pslg"
 	"pamg2d/internal/sizing"
+	"pamg2d/internal/trace"
 )
 
 // Result is the output of a pipeline run.
@@ -46,7 +48,7 @@ func GenerateContext(ctx context.Context, cfg Config) (*Result, error) {
 		cfg.NearBodyMargin = 0.25
 	}
 	res := &Result{}
-	rc := &RunCtx{ctx: ctx, cfg: cfg, stats: &res.Stats, res: res}
+	rc := &RunCtx{ctx: ctx, cfg: cfg, stats: &res.Stats, res: res, tracer: cfg.Tracer}
 	stages := pipeline
 	if cfg.Audit {
 		// Fresh slice: the shared pipeline list must not grow an audit stage
@@ -54,10 +56,49 @@ func GenerateContext(ctx context.Context, cfg Config) (*Result, error) {
 		stages = append(append(make([]Stage, 0, len(pipeline)+1), pipeline...),
 			stageFunc{StageAudit, runAudit})
 	}
-	if err := rc.runStages(stages); err != nil {
+	err := rc.runStages(stages)
+	// Fold the run summary into the metrics registry even on failure: a
+	// canceled run's partial registry is often exactly what is being
+	// debugged. No-op without a tracer.
+	foldMetrics(rc.tracer.Metrics(), &res.Stats)
+	if err != nil {
 		return nil, err
 	}
 	return res, nil
+}
+
+// foldMetrics writes the run's summary statistics into the metrics
+// registry: per-stage walls and allocations as gauges, tasks per rank and
+// steal totals as counters, wire volume as gauges. The live histograms
+// (task.seconds, loadbal.queue_cost) are recorded at the instrumentation
+// sites; this fold adds everything derivable after the fact.
+func foldMetrics(m *trace.Metrics, st *Stats) {
+	if m == nil {
+		return
+	}
+	var totalTasks int64
+	for i := range st.Stages {
+		s := &st.Stages[i]
+		m.Gauge("stage."+s.Name+".wall_seconds", s.Wall.Seconds())
+		m.Gauge("stage."+s.Name+".allocs", float64(s.Allocs))
+		if s.Messages > 0 {
+			m.Gauge("stage."+s.Name+".wire_bytes", float64(s.BytesOnWire))
+		}
+		for _, r := range s.Ranks {
+			m.Count("tasks.rank."+strconv.Itoa(r.Rank), int64(r.Tasks))
+			totalTasks += int64(r.Tasks)
+		}
+	}
+	// tasks.total counts distributed task executions (audit jobs included),
+	// so it always equals the sum of the tasks.rank.N counters.
+	m.Count("tasks.total", totalTasks)
+	m.Count("steals.requests", int64(st.Steals.Requests))
+	m.Count("steals.granted", int64(st.Steals.Granted))
+	m.Count("steals.gotten", int64(st.Steals.Gotten))
+	m.Gauge("steals.idle_seconds", st.Steals.Idle.Seconds())
+	m.Gauge("wire.messages", float64(st.Messages))
+	m.Gauge("wire.bytes", float64(st.BytesOnWire))
+	m.Gauge("mesh.triangles", float64(st.TotalTriangles))
 }
 
 // graph resolves the configured geometry: the custom PSLG when set,

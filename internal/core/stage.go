@@ -25,6 +25,7 @@ import (
 	"pamg2d/internal/mpi"
 	"pamg2d/internal/pslg"
 	"pamg2d/internal/sizing"
+	"pamg2d/internal/trace"
 )
 
 // Stage names, in pipeline order. They key the StageStat records and the
@@ -54,12 +55,61 @@ type Stage interface {
 // StageStat is one stage's execution record, written by the engine's stats
 // hook: wall time, heap allocation delta, and the messages/bytes its
 // distributed execution put on the (simulated) wire.
+//
+// Wire-attribution convention: a stage's Messages/BytesOnWire are carried
+// by its summary entry alone — the entry whose Name is the plain stage
+// name. Sub-entries, whose Name contains a '/' (the audit stage's
+// per-check "audit/<check>" records), report Wall and Allocs only and
+// always leave the wire counters zero, because the underlying traffic
+// (job fan-out, result returns, steal transfers) is shared across checks
+// and cannot be attributed to one of them without double counting.
+// Summing Messages over Stats.Stages therefore equals Stats.Messages
+// exactly, with or without sub-entries present.
 type StageStat struct {
 	Name        string
 	Wall        time.Duration
 	Allocs      uint64
 	Messages    int64
 	BytesOnWire int64
+	// Ranks is the per-rank execution summary of a distributed stage,
+	// folded from the task measurements and the balancer's counters; nil
+	// for root-side stages and sub-entries. Index order is rank order.
+	Ranks []RankStat
+}
+
+// RankStat summarizes one rank's part in a distributed stage: how many
+// tasks it executed, how long it computed (Busy) versus waited for work
+// (Idle), and its share of the steal traffic. Busy is summed task
+// execution time, so max(Busy) across ranks approximates the stage's
+// critical path and mean/max Busy is the load-balance ratio.
+type RankStat struct {
+	Rank          int
+	Tasks         int
+	Busy          time.Duration
+	Idle          time.Duration
+	StealRequests int
+	StealsGranted int
+	StealsGotten  int
+}
+
+// RankWall returns the min/max/mean per-rank busy wall of a distributed
+// stage's Ranks summary; zeros when the stage recorded no rank data.
+func (s *StageStat) RankWall() (min, max, mean time.Duration) {
+	if len(s.Ranks) == 0 {
+		return 0, 0, 0
+	}
+	var sum time.Duration
+	min = s.Ranks[0].Busy
+	for _, r := range s.Ranks {
+		if r.Busy < min {
+			min = r.Busy
+		}
+		if r.Busy > max {
+			max = r.Busy
+		}
+		sum += r.Busy
+	}
+	return min, max, sum / time.Duration(len(s.Ranks))
 }
 
 // PhaseError attributes a pipeline failure to the stage it occurred in
@@ -101,16 +151,17 @@ func phaseError(stage string, err error) *PhaseError {
 // in, the stats and result out, and the intermediate products each stage
 // leaves for its successors.
 type RunCtx struct {
-	ctx   context.Context
-	cfg   Config
-	stats *Stats
-	res   *Result
+	ctx    context.Context
+	cfg    Config
+	stats  *Stats
+	res    *Result
+	tracer *trace.Tracer // nil when tracing is off
 
 	// Intermediate pipeline state, in production order.
-	g          *pslg.Graph      // validate
-	ffBox      geom.BBox        // validate: far-field frame
-	layers     []*blayer.Layer  // boundary-rays
-	blPoints   []geom.Point     // ray-insertion
+	g          *pslg.Graph     // validate
+	ffBox      geom.BBox       // validate: far-field frame
+	layers     []*blayer.Layer // boundary-rays
+	blPoints   []geom.Point    // ray-insertion
 	surfaceSet map[geom.Point]bool
 	blMesh     *mesh.Mesh   // bl-triangulation
 	size       sizing.Func  // bl-triangulation
@@ -128,6 +179,9 @@ type RunCtx struct {
 	// each stage and folded into the stats by recordStage.
 	wireMsgs  int64
 	wireBytes int64
+	// stageRanks is the per-rank summary of the distributed stage in
+	// flight, reset with the wire counters and folded into the StageStat.
+	stageRanks []RankStat
 }
 
 // Context returns the run's cancellation context.
@@ -156,13 +210,17 @@ func (rc *RunCtx) runStages(stages []Stage) error {
 		t0 := time.Now()
 		a0 := mallocCount()
 		rc.wireMsgs, rc.wireBytes = 0, 0
+		rc.stageRanks = nil
+		sp := rc.tracer.Begin(trace.RootRank, trace.CatStage, s.Name())
 		err := s.Run(rc)
+		sp.End()
 		rc.stats.recordStage(StageStat{
 			Name:        s.Name(),
 			Wall:        time.Since(t0),
 			Allocs:      mallocCount() - a0,
 			Messages:    rc.wireMsgs,
 			BytesOnWire: rc.wireBytes,
+			Ranks:       rc.stageRanks,
 		})
 		if err != nil {
 			return phaseError(s.Name(), err)

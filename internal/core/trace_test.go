@@ -1,0 +1,257 @@
+package core
+
+// Tests of the traced pipeline: a run with a Tracer attached must export a
+// valid Chrome trace-event file and metrics registry, close every span on
+// both the success and the cancellation path, and fold consistent per-rank
+// summaries into the Stats. The export format itself is tested in
+// internal/trace; here the subject is the instrumentation wiring.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pamg2d/internal/trace"
+)
+
+// tracedRun generates with a fresh tracer attached and returns both.
+func tracedRun(t *testing.T, cfg Config) (*Result, *trace.Tracer) {
+	t.Helper()
+	tr := trace.New(cfg.Ranks)
+	cfg.Tracer = tr
+	res, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, tr
+}
+
+func TestTracedRunExportsValidTrace(t *testing.T) {
+	cfg := smallConfig(2)
+	cfg.Audit = true
+	res, tr := tracedRun(t, cfg)
+
+	if n := tr.OpenSpans(); n != 0 {
+		t.Errorf("%d spans left open after a completed run", n)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, err := trace.ValidateTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("exported trace invalid: %v", err)
+	}
+	if events == 0 {
+		t.Fatal("exported trace is empty")
+	}
+
+	// Every stage of the audited pipeline appears as a root-track span.
+	var tj struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			PID  float64 `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tj); err != nil {
+		t.Fatal(err)
+	}
+	stageSpans := map[string]bool{}
+	taskSpans, auditSpans := 0, 0
+	for _, e := range tj.TraceEvents {
+		switch {
+		case e.Ph == "X" && e.Cat == trace.CatStage:
+			stageSpans[e.Name] = true
+			if e.PID != 0 {
+				t.Errorf("stage span %q on pid %v, want the root track 0", e.Name, e.PID)
+			}
+		case e.Ph == "X" && e.Cat == trace.CatTask:
+			taskSpans++
+		case e.Ph == "X" && e.Cat == trace.CatAudit:
+			auditSpans++
+		}
+	}
+	for _, want := range []string{StageValidate, StageBLTriangulation, StageInviscid, StageMerge, StageAudit} {
+		if !stageSpans[want] {
+			t.Errorf("no stage span named %q in the trace", want)
+		}
+	}
+	if taskSpans == 0 {
+		t.Error("no task spans in the trace")
+	}
+	if auditSpans == 0 {
+		t.Error("no audit-check spans in the trace")
+	}
+
+	// The metrics registry exports and validates too.
+	buf.Reset()
+	if err := tr.Metrics().WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.ValidateMetrics(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("exported metrics invalid: %v", err)
+	}
+	snap := tr.Metrics().Snapshot()
+	if snap.Counters["tasks.total"] != int64(totalRankTasks(res.Stats)) {
+		t.Errorf("tasks.total = %d, want %d (sum of StageStat.Ranks)",
+			snap.Counters["tasks.total"], totalRankTasks(res.Stats))
+	}
+}
+
+func totalRankTasks(st Stats) int {
+	n := 0
+	for _, s := range st.Stages {
+		for _, r := range s.Ranks {
+			n += r.Tasks
+		}
+	}
+	return n
+}
+
+// TestTracedRunRankStats: distributed stages fold per-rank summaries into
+// their StageStat, and the run-wide steal aggregate matches the raw
+// balancer records.
+func TestTracedRunRankStats(t *testing.T) {
+	cfg := smallConfig(2)
+	cfg.Audit = true
+	res, _ := tracedRun(t, cfg)
+	st := res.Stats
+
+	distributed := 0
+	for _, s := range st.Stages {
+		if strings.Contains(s.Name, "/") {
+			if s.Ranks != nil {
+				t.Errorf("sub-entry %q carries rank data", s.Name)
+			}
+			continue
+		}
+		if s.Ranks == nil {
+			continue
+		}
+		distributed++
+		if len(s.Ranks) != cfg.Ranks {
+			t.Errorf("stage %q has %d rank entries, want %d", s.Name, len(s.Ranks), cfg.Ranks)
+		}
+		for i, r := range s.Ranks {
+			if r.Rank != i {
+				t.Errorf("stage %q rank entry %d labeled rank %d", s.Name, i, r.Rank)
+			}
+			if r.Tasks > 0 && r.Busy <= 0 {
+				t.Errorf("stage %q rank %d: %d tasks but zero busy time", s.Name, i, r.Tasks)
+			}
+		}
+		if _, max, mean := s.RankWall(); max < mean {
+			t.Errorf("stage %q RankWall: max %v < mean %v", s.Name, max, mean)
+		}
+	}
+	// bl-triangulation, inviscid, audit (ray-insertion tasks run at the
+	// root when there is only one batch, but these three always fan out).
+	if distributed < 3 {
+		t.Errorf("only %d stages recorded rank data", distributed)
+	}
+
+	var agg StealStats
+	for _, b := range st.LoadBalance {
+		agg.Requests += b.StealRequests
+		agg.Granted += b.StealsGranted
+		agg.Gotten += b.StealsGotten
+		agg.Idle += b.IdleTime
+	}
+	if st.Steals != agg {
+		t.Errorf("Stats.Steals = %+v, want fold of LoadBalance %+v", st.Steals, agg)
+	}
+}
+
+// TestTracedRunUntracedStatsAgree: the Steals/Ranks folds are tracer-
+// independent — a run without a tracer produces them identically.
+func TestTracedRunUntracedStatsAgree(t *testing.T) {
+	cfg := smallConfig(2)
+	res, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totalRankTasks(res.Stats) == 0 {
+		t.Error("untraced run folded no per-rank task counts")
+	}
+	var agg StealStats
+	for _, b := range res.Stats.LoadBalance {
+		agg.Requests += b.StealRequests
+		agg.Granted += b.StealsGranted
+		agg.Gotten += b.StealsGotten
+		agg.Idle += b.IdleTime
+	}
+	if res.Stats.Steals != agg {
+		t.Errorf("Stats.Steals = %+v, want %+v", res.Stats.Steals, agg)
+	}
+}
+
+// TestTracedCancellationClosesSpans: a run canceled mid-stage must still
+// leave the tracer quiescent (no open spans) and exportable.
+func TestTracedCancellationClosesSpans(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := smallConfig(2)
+	tr := trace.New(cfg.Ranks)
+	cfg.Tracer = tr
+	cfg.testTaskHook = func(s string, kind int) error {
+		if s == StageInviscid {
+			cancel()
+		}
+		return nil
+	}
+	if _, err := GenerateContext(ctx, cfg); err == nil {
+		t.Fatal("canceled run did not fail")
+	}
+	if n := tr.OpenSpans(); n != 0 {
+		t.Errorf("%d spans left open after cancellation", n)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.ValidateTrace(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("canceled run exported an invalid trace: %v", err)
+	}
+}
+
+// TestAuditWireAttribution: the audit stage's wire traffic lands on the
+// summary entry alone — the per-check sub-entries stay at zero, so the sum
+// of Messages over Stages equals Stats.Messages exactly.
+func TestAuditWireAttribution(t *testing.T) {
+	cfg := smallConfig(2)
+	cfg.Audit = true
+	res, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	var sumMsgs, sumBytes int64
+	auditSummary := false
+	for _, s := range st.Stages {
+		sumMsgs += s.Messages
+		sumBytes += s.BytesOnWire
+		if strings.HasPrefix(s.Name, StageAudit+"/") {
+			if s.Messages != 0 || s.BytesOnWire != 0 {
+				t.Errorf("sub-entry %q carries wire traffic (%d msgs, %d bytes)",
+					s.Name, s.Messages, s.BytesOnWire)
+			}
+		}
+		if s.Name == StageAudit {
+			auditSummary = true
+			if s.Messages == 0 {
+				t.Error("audit summary entry recorded no wire traffic")
+			}
+		}
+	}
+	if !auditSummary {
+		t.Fatal("no audit summary entry in Stages")
+	}
+	if sumMsgs != st.Messages || sumBytes != st.BytesOnWire {
+		t.Errorf("stage wire sums (%d msgs, %d bytes) != totals (%d, %d)",
+			sumMsgs, sumBytes, st.Messages, st.BytesOnWire)
+	}
+}

@@ -12,10 +12,12 @@ package loadbal
 import (
 	"container/heap"
 	"context"
+	"math"
 	"sync"
 	"time"
 
 	"pamg2d/internal/mpi"
+	"pamg2d/internal/trace"
 )
 
 // Task is one unit of meshing work (a subdomain).
@@ -60,6 +62,12 @@ type Options struct {
 	StealBelow float64
 	// Poll is the communicator loop interval.
 	Poll time.Duration
+	// Tracer, when non-nil, records the balancer's behavior on each
+	// rank's track: idle waits as spans, steal requests/denies as instant
+	// events, grants and receipts as spans linked by a flow arrow, and
+	// the local queue cost as a counter series. Disabled (nil) costs the
+	// hot paths a single nil check.
+	Tracer *trace.Tracer
 }
 
 // DefaultOptions returns the tuning used by the pipeline.
@@ -212,13 +220,22 @@ func Run(ctx context.Context, c *mpi.Comm, win *mpi.Window, initial []Task, tota
 	var wg sync.WaitGroup
 	wg.Add(2)
 
+	tr := opt.Tracer
+
 	// Mesher goroutine: drain the queue largest-first.
 	go func() {
 		defer wg.Done()
 		for {
+			var idleSp trace.Span
+			if tr.Enabled() {
+				idleSp = tr.Begin(c.Rank(), trace.CatIdle, "idle")
+			}
 			idleStart := time.Now()
 			t, ok := st.popForMesher()
 			idle := time.Since(idleStart)
+			if tr.Enabled() {
+				idleSp.End()
+			}
 			statsMu.Lock()
 			stats.IdleTime += idle
 			statsMu.Unlock()
@@ -268,6 +285,7 @@ func Run(ctx context.Context, c *mpi.Comm, win *mpi.Window, initial []Task, tota
 		}
 		completed := 0 // root only
 		awaitingGrant := false
+		lastLoad := math.NaN() // NaN compares unequal, forcing the first sample
 		for {
 			// Teardown and cancellation are level-triggered: checked once
 			// per poll iteration, so an abort is noticed within one Poll
@@ -291,13 +309,28 @@ func Run(ctx context.Context, c *mpi.Comm, win *mpi.Window, initial []Task, tota
 				switch tag {
 				case tagRequest:
 					if t, ok := st.popForSteal(); ok {
+						var grantSp trace.Span
+						if tr.Enabled() {
+							grantSp = tr.Begin(c.Rank(), trace.CatSteal, "grant")
+						}
 						// Zero-copy transfer: the task moves by reference,
 						// accounted at exactly the size its serialized form
 						// (encodeTask) would occupy on the wire.
 						if err := c.SendRef(src, tagGrant, t, t.WireBytes()); err != nil {
 							// Undelivered: the task is still ours to run.
 							st.push(t)
+							if tr.Enabled() {
+								grantSp.End(trace.I("undelivered", 1))
+							}
 							break
+						}
+						if tr.Enabled() {
+							// The flow arrow starts inside the grant span so
+							// viewers bind it to the slice; its finish is the
+							// thief's receive span.
+							tr.FlowOut(c.Rank(), src, "steal")
+							grantSp.End(trace.I("to", src), trace.I("task", int(t.ID)),
+								trace.I("bytes", t.WireBytes()), trace.F("cost", t.Cost))
 						}
 						statsMu.Lock()
 						stats.StealsGranted++
@@ -306,17 +339,28 @@ func Run(ctx context.Context, c *mpi.Comm, win *mpi.Window, initial []Task, tota
 						break
 					}
 				case tagGrant:
+					var stolenSp trace.Span
+					if tr.Enabled() {
+						stolenSp = tr.Begin(c.Rank(), trace.CatSteal, "stolen")
+						tr.FlowIn(c.Rank(), src, "steal")
+					}
 					switch p := data.(type) {
 					case Task:
 						st.push(p)
 					case []byte:
 						st.push(decodeTask(p))
 					}
+					if tr.Enabled() {
+						stolenSp.End(trace.I("from", src))
+					}
 					awaitingGrant = false
 					statsMu.Lock()
 					stats.StealsGotten++
 					statsMu.Unlock()
 				case tagDeny:
+					if tr.Enabled() {
+						tr.Instant(c.Rank(), trace.CatSteal, "deny", trace.I("from", src))
+					}
 					awaitingGrant = false
 				case tagComplete:
 					completed++
@@ -335,10 +379,18 @@ func Run(ctx context.Context, c *mpi.Comm, win *mpi.Window, initial []Task, tota
 				completed = -1 // sent; keep serving until our own terminate arrives
 			}
 			// Publish the current work estimate (MPI_Put on the window).
-			win.Put(c.Rank(), st.load())
+			load := st.load()
+			win.Put(c.Rank(), load)
+			if tr.Enabled() && load != lastLoad {
+				// Sampled only on change, so an idle rank does not flood
+				// the trace at the poll frequency.
+				tr.Counter(c.Rank(), "queue-cost", load)
+				tr.Metrics().Observe("loadbal.queue_cost", load)
+				lastLoad = load
+			}
 			// Steal when underloaded: fetch the window (MPI_Get) and ask
 			// the most loaded rank.
-			if !awaitingGrant && st.load() < opt.StealBelow {
+			if !awaitingGrant && load < opt.StealBelow {
 				loads := win.Get()
 				victim, best := -1, opt.StealBelow
 				for r, l := range loads {
@@ -348,6 +400,10 @@ func Run(ctx context.Context, c *mpi.Comm, win *mpi.Window, initial []Task, tota
 				}
 				if victim >= 0 {
 					if err := c.Send(victim, tagRequest, nil); err == nil {
+						if tr.Enabled() {
+							tr.Instant(c.Rank(), trace.CatSteal, "request",
+								trace.I("victim", victim), trace.F("load", load))
+						}
 						awaitingGrant = true
 						statsMu.Lock()
 						stats.StealRequests++

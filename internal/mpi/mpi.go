@@ -23,6 +23,8 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+
+	"pamg2d/internal/trace"
 )
 
 // AnySource matches messages from any rank.
@@ -164,6 +166,7 @@ type World struct {
 	boxes   []*mailbox
 	stats   *Stats
 	barrier *barrier
+	tracer  *trace.Tracer
 
 	closeMu    sync.Mutex
 	closeCause error // write-once, guarded by closeMu before closed is set
@@ -190,6 +193,13 @@ func NewWorld(n int) *World {
 
 // Stats returns the world's traffic counters.
 func (w *World) Stats() *Stats { return w.stats }
+
+// SetTracer attaches a span tracer: every successful send is recorded as
+// a rank-attributed instant event carrying destination, tag, and wire
+// bytes. A nil tracer (the default) disables recording; the send path
+// then pays a single nil check. Set before the first Run — the field is
+// not synchronized against in-flight sends.
+func (w *World) SetTracer(tr *trace.Tracer) { w.tracer = tr }
 
 // Close tears the world down: every blocked receive and barrier returns an
 // error matching ErrWorldClosed (wrapping cause), queued messages are
@@ -345,6 +355,10 @@ func (c *Comm) send(to, tag int, m message, wire int) error {
 	st := c.world.stats
 	st.Messages.Add(1)
 	st.Bytes.Add(int64(wire))
+	if c.world.tracer.Enabled() {
+		c.world.tracer.Instant(c.rank, trace.CatMPI, "send",
+			trace.I("to", to), trace.I("tag", tag), trace.I("bytes", wire))
+	}
 	return nil
 }
 

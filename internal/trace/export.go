@@ -1,0 +1,145 @@
+package trace
+
+// Chrome trace-event export. The output is the JSON object format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+// that chrome://tracing and Perfetto's legacy-JSON importer both load:
+// one "process" per rank (pid rank+1, pid 0 for root-side pipeline work),
+// two "threads" per process — mesher (execution) and comm (protocol) —
+// and flow events linking each steal's departure to its arrival.
+//
+// WriteTrace must only be called after the traced run has quiesced; the
+// recorder's buffers are read without synchronization against writers.
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Display thread ids within each rank process.
+const (
+	tidMesher = 1 // stages, tasks, audit checks, idle waits
+	tidComm   = 2 // steal protocol, MPI sends, counters
+)
+
+// tidFor maps an event category to its display thread.
+func tidFor(cat string) int {
+	switch cat {
+	case CatSteal, CatMPI:
+		return tidComm
+	}
+	return tidMesher
+}
+
+// jsonEvent is one trace event in Chrome's JSON schema. Numeric ids are
+// emitted as integers; timestamps and durations are microseconds.
+type jsonEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	ID   uint64         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// jsonTrace is the exported file: the object form with traceEvents, which
+// both Chrome and Perfetto accept (and which leaves room for metadata).
+type jsonTrace struct {
+	TraceEvents     []jsonEvent `json:"traceEvents"`
+	DisplayTimeUnit string      `json:"displayTimeUnit"`
+}
+
+// WriteTrace writes the recorded run as Chrome trace-event JSON. Events
+// are globally sorted by timestamp, so every per-track sequence is
+// non-decreasing — the property the schema tests lock in. Safe on a nil
+// tracer (writes an empty, still-loadable trace).
+func (t *Tracer) WriteTrace(w io.Writer) error {
+	out := jsonTrace{DisplayTimeUnit: "ms", TraceEvents: []jsonEvent{}}
+	type rankEvent struct {
+		e    event
+		rank int
+	}
+	var evs []rankEvent
+	nranks := 0
+	if t != nil {
+		nranks = t.nranks
+		for bi, b := range t.bufs {
+			rank := bi - 1
+			b.mu.Lock()
+			for _, c := range b.chunks {
+				k := int(c.n.Load())
+				if k > chunkSize {
+					k = chunkSize
+				}
+				for i := 0; i < k; i++ {
+					evs = append(evs, rankEvent{e: c.events[i], rank: rank})
+				}
+			}
+			b.mu.Unlock()
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].e.ts < evs[j].e.ts })
+
+	// Metadata: name the processes and threads so the viewer labels the
+	// tracks; sort indices keep root first and ranks in order.
+	meta := func(pid int, kind, name string, tid int) {
+		out.TraceEvents = append(out.TraceEvents, jsonEvent{
+			Name: kind, Ph: "M", PID: pid, TID: tid, Args: map[string]any{"name": name},
+		})
+	}
+	sortIdx := func(pid int) {
+		out.TraceEvents = append(out.TraceEvents, jsonEvent{
+			Name: "process_sort_index", Ph: "M", PID: pid,
+			Args: map[string]any{"sort_index": pid},
+		})
+	}
+	meta(0, "process_name", "root (pipeline)", 0)
+	sortIdx(0)
+	meta(0, "thread_name", "stages", tidMesher)
+	for r := 0; r < nranks; r++ {
+		pid := r + 1
+		meta(pid, "process_name", "rank "+strconv.Itoa(r), 0)
+		sortIdx(pid)
+		meta(pid, "thread_name", "mesher", tidMesher)
+		meta(pid, "thread_name", "comm", tidComm)
+	}
+
+	for _, re := range evs {
+		je := jsonEvent{
+			Name: re.e.name,
+			Cat:  re.e.cat,
+			Ph:   string(rune(re.e.ph)),
+			TS:   float64(re.e.ts) / 1e3,
+			PID:  re.rank + 1,
+			TID:  tidFor(re.e.cat),
+		}
+		switch re.e.ph {
+		case phSpan:
+			d := float64(re.e.dur) / 1e3
+			je.Dur = &d
+		case phInstant:
+			je.S = "t" // thread-scoped instant
+		case phFlowOut:
+			je.ID = re.e.id
+		case phFlowIn:
+			je.ID = re.e.id
+			je.BP = "e" // bind to the enclosing slice
+		}
+		if len(re.e.args) > 0 {
+			je.Args = make(map[string]any, len(re.e.args))
+			for _, a := range re.e.args {
+				je.Args[a.Key] = a.Val
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, je)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(&out)
+}

@@ -1,0 +1,215 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSpanRoundTrip records a small mixed run and checks the export is a
+// valid trace with the expected tracks and event counts.
+func TestSpanRoundTrip(t *testing.T) {
+	tr := New(2)
+	root := tr.Begin(RootRank, CatStage, "inviscid")
+
+	s0 := tr.Begin(0, CatTask, "task/inviscid")
+	s0.End(I("id", 7), F("cost", 120))
+	tr.Instant(1, CatSteal, "request", I("victim", 0))
+
+	// A steal: grant span with a flow out on rank 0, receive span with the
+	// flow in on rank 1.
+	g := tr.Begin(0, CatSteal, "grant")
+	tr.FlowOut(0, 1, "steal")
+	g.End(I("to", 1))
+	rcv := tr.Begin(1, CatSteal, "stolen")
+	tr.FlowIn(1, 0, "steal")
+	rcv.End(I("from", 0))
+
+	tr.Counter(0, "queue-cost", 42)
+	root.End()
+
+	if n := tr.OpenSpans(); n != 0 {
+		t.Fatalf("OpenSpans = %d after ending every span", n)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("exported trace invalid: %v\n%s", err, buf.String())
+	}
+	// 4 spans + 1 instant + 1 counter + 2 flow events.
+	if n != 8 {
+		t.Errorf("validator saw %d events, want 8", n)
+	}
+	for _, want := range []string{`"rank 0"`, `"rank 1"`, `"root (pipeline)"`, `"mesher"`, `"comm"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("export missing metadata %s", want)
+		}
+	}
+}
+
+// TestNilTracerIsSafe locks in the disabled-tracer contract: every method
+// no-ops on the nil receiver, including the metrics reached through it.
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	sp := tr.Begin(0, CatTask, "x")
+	sp.End(I("id", 1))
+	tr.Instant(0, CatMPI, "send")
+	tr.Counter(0, "queue", 1)
+	tr.FlowOut(0, 1, "steal")
+	tr.FlowIn(1, 0, "steal")
+	tr.Metrics().Count("n", 1)
+	tr.Metrics().Gauge("g", 1)
+	tr.Metrics().Observe("h", 1)
+	if tr.OpenSpans() != 0 || tr.Events() != 0 || tr.Ranks() != 0 {
+		t.Fatal("nil tracer recorded something")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateTrace(&buf); err != nil {
+		t.Fatalf("nil tracer's export invalid: %v", err)
+	}
+}
+
+// TestConcurrentWriters hammers one rank's buffer from many goroutines —
+// the balancer's mesher and communicator share a track — and checks no
+// event is lost and the export stays valid. Run under -race in CI.
+func TestConcurrentWriters(t *testing.T) {
+	tr := New(4)
+	const goroutines = 8
+	const perG = 700 // > chunkSize to force rollover under contention
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rank := g % 4
+			for i := 0; i < perG; i++ {
+				sp := tr.Begin(rank, CatTask, "task")
+				sp.End(I("i", i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got, want := tr.Events(), goroutines*perG; got != want {
+		t.Fatalf("recorded %d events, want %d", got, want)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := ValidateTrace(&buf); err != nil || n != goroutines*perG {
+		t.Fatalf("export: %d events, err %v", n, err)
+	}
+}
+
+// TestTimestampsSortedPerTrack checks the exported order directly: spans
+// recorded out of buffer order (End order != Begin order) still export
+// with non-decreasing per-track timestamps.
+func TestTimestampsSortedPerTrack(t *testing.T) {
+	tr := New(1)
+	outer := tr.Begin(0, CatTask, "outer")
+	inner := tr.Begin(0, CatTask, "inner")
+	inner.End()
+	outer.End() // written after inner but starts earlier
+
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	last := -1.0
+	seen := 0
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		if e.TS < last {
+			t.Fatalf("span %q at %v after %v", e.Name, e.TS, last)
+		}
+		last = e.TS
+		seen++
+	}
+	if seen != 2 {
+		t.Fatalf("exported %d spans, want 2", seen)
+	}
+}
+
+// TestValidateTraceRejects feeds the validator malformed inputs.
+func TestValidateTraceRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{`,
+		"no traceEvents":  `{"displayTimeUnit":"ms"}`,
+		"unknown phase":   `{"traceEvents":[{"name":"x","ph":"Q","ts":1,"pid":0,"tid":1}]}`,
+		"backwards track": `{"traceEvents":[{"name":"a","ph":"i","ts":5,"pid":1,"tid":1},{"name":"b","ph":"i","ts":2,"pid":1,"tid":1}]}`,
+		"unpaired flow":   `{"traceEvents":[{"name":"s","ph":"s","ts":1,"pid":1,"tid":2,"id":9}]}`,
+		"negative dur":    `{"traceEvents":[{"name":"x","ph":"X","ts":1,"dur":-4,"pid":0,"tid":1}]}`,
+	}
+	for name, in := range cases {
+		if _, err := ValidateTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: validator accepted %s", name, in)
+		}
+	}
+}
+
+// External-artifact validation hooks: CI generates a trace + metrics pair
+// with meshgen and re-runs these tests pointed at the files, so the
+// shipped artifacts are checked by the same schema code as the unit
+// exports.
+var (
+	traceFile   = flag.String("tracefile", "", "validate this Chrome trace-event file")
+	metricsFile = flag.String("metricsfile", "", "validate this run-metrics JSON file")
+)
+
+func TestExternalTraceFile(t *testing.T) {
+	if *traceFile == "" {
+		t.Skip("no -tracefile given")
+	}
+	f, err := os.Open(*traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n, err := ValidateTrace(f)
+	if err != nil {
+		t.Fatalf("%s: %v", *traceFile, err)
+	}
+	if n == 0 {
+		t.Fatalf("%s: no events", *traceFile)
+	}
+	t.Logf("%s: %d events, valid", *traceFile, n)
+}
+
+func TestExternalMetricsFile(t *testing.T) {
+	if *metricsFile == "" {
+		t.Skip("no -metricsfile given")
+	}
+	f, err := os.Open(*metricsFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := ValidateMetrics(f); err != nil {
+		t.Fatalf("%s: %v", *metricsFile, err)
+	}
+}

@@ -1,0 +1,120 @@
+package trace
+
+// Structural validators for the two exported artifacts. They are the
+// schema the tests and the CI trace-artifact step check against: not a
+// golden file, but the set of invariants any well-formed export satisfies
+// (parseable JSON, known phases, per-track timestamp monotonicity, paired
+// flow ids, schema-tagged metrics with consistent histograms).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ValidateTrace checks that r holds a well-formed Chrome trace-event
+// export: a JSON object with a traceEvents array whose events carry known
+// phases, whose timestamps are non-decreasing within each (pid, tid)
+// track, and whose flow starts and finishes pair up by id. It returns the
+// number of non-metadata events alongside the first violation found.
+func ValidateTrace(r io.Reader) (events int, err error) {
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  int     `json:"pid"`
+			TID  int     `json:"tid"`
+			ID   uint64  `json:"id"`
+		} `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return 0, fmt.Errorf("trace: not a JSON trace object: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return 0, fmt.Errorf("trace: missing traceEvents array")
+	}
+	lastTS := map[[2]int]float64{}
+	flowOut := map[uint64]int{}
+	flowIn := map[uint64]int{}
+	for i, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			continue // metadata carries no timestamp
+		case "X", "i", "C", "s", "f":
+		default:
+			return events, fmt.Errorf("trace: event %d (%q) has unknown phase %q", i, e.Name, e.Ph)
+		}
+		events++
+		if e.TS < 0 {
+			return events, fmt.Errorf("trace: event %d (%q) has negative timestamp %v", i, e.Name, e.TS)
+		}
+		if e.Ph == "X" && e.Dur < 0 {
+			return events, fmt.Errorf("trace: span %d (%q) has negative duration %v", i, e.Name, e.Dur)
+		}
+		track := [2]int{e.PID, e.TID}
+		if last, ok := lastTS[track]; ok && e.TS < last {
+			return events, fmt.Errorf("trace: event %d (%q) goes backwards on track pid=%d tid=%d: %v after %v",
+				i, e.Name, e.PID, e.TID, e.TS, last)
+		}
+		lastTS[track] = e.TS
+		switch e.Ph {
+		case "s":
+			flowOut[e.ID]++
+		case "f":
+			flowIn[e.ID]++
+		}
+	}
+	for id, n := range flowOut {
+		if flowIn[id] != n {
+			return events, fmt.Errorf("trace: flow id %d has %d starts but %d finishes", id, n, flowIn[id])
+		}
+	}
+	for id, n := range flowIn {
+		if flowOut[id] != n {
+			return events, fmt.Errorf("trace: flow id %d has %d finishes but %d starts", id, n, flowOut[id])
+		}
+	}
+	return events, nil
+}
+
+// ValidateMetrics checks that r holds a well-formed run-metrics registry
+// export: the schema tag, the three sections present, and every histogram
+// internally consistent (bucket counts sum to the sample count, bucket
+// boundaries strictly increasing, min <= max).
+func ValidateMetrics(r io.Reader) error {
+	var doc MetricsJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return fmt.Errorf("metrics: not a JSON registry: %w", err)
+	}
+	if doc.Schema != MetricsSchema {
+		return fmt.Errorf("metrics: schema %q, want %q", doc.Schema, MetricsSchema)
+	}
+	if doc.Counters == nil || doc.Gauges == nil || doc.Histograms == nil {
+		return fmt.Errorf("metrics: missing counters/gauges/histograms section")
+	}
+	for name, h := range doc.Histograms {
+		if h.Count < 0 {
+			return fmt.Errorf("metrics: histogram %q has negative count", name)
+		}
+		if h.Count > 0 && h.Min > h.Max {
+			return fmt.Errorf("metrics: histogram %q has min %v > max %v", name, h.Min, h.Max)
+		}
+		var sum int64
+		prev := 0.0
+		for i, b := range h.Buckets {
+			if i > 0 && b.Le <= prev {
+				return fmt.Errorf("metrics: histogram %q bucket boundaries not increasing at %v", name, b.Le)
+			}
+			prev = b.Le
+			sum += b.Count
+		}
+		if sum != h.Count {
+			return fmt.Errorf("metrics: histogram %q buckets sum to %d, count is %d", name, sum, h.Count)
+		}
+	}
+	return nil
+}
