@@ -7,6 +7,7 @@ package pamg2d
 // output carries the reproduced numbers next to the timings.
 
 import (
+	"context"
 	"io"
 	"sync"
 	"testing"
@@ -20,6 +21,7 @@ import (
 	"pamg2d/internal/delaunay"
 	"pamg2d/internal/geom"
 	"pamg2d/internal/growth"
+	"pamg2d/internal/mpi"
 	"pamg2d/internal/perfmodel"
 	"pamg2d/internal/project"
 	"pamg2d/internal/pslg"
@@ -554,6 +556,52 @@ func BenchmarkPushButton(b *testing.B) {
 
 func rankName(r int) string {
 	return string(rune('0'+r)) + "-ranks"
+}
+
+// BenchmarkPushButtonTCP is the PushButton pipeline over a loopback TCP
+// fabric: four SPMD processes (simulated as goroutines around real TCP
+// connections) each run the full pipeline, with the distributed phases
+// splitting work across the wire. Against BenchmarkPushButton/4-ranks
+// this is the transport's full price — framing, typed codecs, and the
+// root's result re-broadcast (cmd/benchreport records the same workload
+// as PushButton/4-ranks-tcp).
+func BenchmarkPushButtonTCP(b *testing.B) {
+	const ranks = 4
+	ctx := context.Background()
+	clusters, err := mpi.LoopbackClusters(ctx, ranks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		for _, cl := range clusters {
+			cl.Close()
+		}
+	}()
+	cfg := benchConfig()
+	cfg.Ranks = ranks
+	var tris int
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		errs := make([]error, ranks)
+		results := make([]*core.Result, ranks)
+		for p, cl := range clusters {
+			wg.Add(1)
+			go func(p int, cl *mpi.Cluster) {
+				defer wg.Done()
+				c := cfg
+				c.Fabric = cl
+				results[p], errs[p] = core.GenerateContext(ctx, c)
+			}(p, cl)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		tris = results[0].Stats.TotalTriangles
+	}
+	b.ReportMetric(float64(tris), "triangles")
 }
 
 // BenchmarkPushButtonAudited is the PushButton pipeline with the

@@ -26,12 +26,14 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
 
 	"pamg2d/internal/benchcfg"
 	"pamg2d/internal/core"
+	"pamg2d/internal/mpi"
 	"pamg2d/internal/project"
 	"pamg2d/internal/trace"
 )
@@ -128,6 +130,17 @@ func run(ctx context.Context, args []string) error {
 		return err
 	}
 	e.Benchmarks["PushButton/1-ranks-traced"] = rt
+	// The TCP run tracks the real-wire transport's price: the identical
+	// 4-rank workload over a loopback TCP fabric (one SPMD pipeline per
+	// cluster member, framing + typed codecs + result re-broadcast on the
+	// wire). Against PushButton/4-ranks this column is the transport
+	// overhead; the allocation guard stays on the in-process entry.
+	fmt.Fprintln(os.Stderr, "running PushButton/4-ranks-tcp...")
+	rw, err := runPushButtonTCP(ctx, 4, *benchtime)
+	if err != nil {
+		return err
+	}
+	e.Benchmarks["PushButton/4-ranks-tcp"] = rw
 	fmt.Fprintln(os.Stderr, "running Fig08Decompose128...")
 	r, err := runFig08(*benchtime)
 	if err != nil {
@@ -224,6 +237,50 @@ func runPushButton(ctx context.Context, ranks int, audit, traced bool, benchtime
 			if _, err := core.GenerateContext(ctx, cfg); err != nil {
 				genErr = err
 				b.FailNow()
+			}
+		}
+	})
+	return toResult(r), genErr
+}
+
+// runPushButtonTCP measures the full pipeline over a loopback TCP fabric
+// (identical to BenchmarkPushButtonTCP): the clusters bootstrap once
+// outside the timed region, then every iteration runs one SPMD pipeline
+// per cluster member concurrently, splitting the distributed phases over
+// real TCP connections.
+func runPushButtonTCP(ctx context.Context, ranks int, benchtime time.Duration) (benchResult, error) {
+	clusters, err := mpi.LoopbackClusters(ctx, ranks)
+	if err != nil {
+		return benchResult{}, err
+	}
+	defer func() {
+		for _, cl := range clusters {
+			cl.Close()
+		}
+	}()
+	cfg := benchcfg.PushButton()
+	cfg.Ranks = ranks
+	var genErr error
+	r := bench(benchtime, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			errs := make([]error, ranks)
+			for p, cl := range clusters {
+				wg.Add(1)
+				go func(p int, cl *mpi.Cluster) {
+					defer wg.Done()
+					c := cfg
+					c.Fabric = cl
+					_, errs[p] = core.GenerateContext(ctx, c)
+				}(p, cl)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					genErr = err
+					b.FailNow()
+				}
 			}
 		}
 	})

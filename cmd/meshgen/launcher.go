@@ -1,0 +1,73 @@
+package main
+
+// Multi-process launcher: with -transport tcp the command becomes rank 0
+// of a real multi-process run. It listens on -listen, spawns ranks-1
+// copies of itself with the identical meshing flags plus `-worker -join
+// <addr>`, and accepts them into an mpi TCP cluster. Every process then
+// runs the same SPMD pipeline over the fabric; only the launcher writes
+// the mesh and statistics. Workers can also be started by hand on other
+// machines — `-spawn 0` makes the launcher listen without forking and
+// wait for all ranks-1 workers to join on their own (spawning is the
+// single-machine convenience; the protocol does not care who forks whom).
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+
+	"pamg2d/internal/mpi"
+)
+
+// workerEnv marks a spawned process as a meshgen worker re-exec. The
+// production binary ignores it; the test binary's TestMain uses it to
+// dispatch into run() instead of the test driver.
+const workerEnv = "MESHGEN_WORKER_EXEC"
+
+// launchTCP brings up the TCP fabric as rank 0: listen, spawn the
+// workers, accept them. spawn is the number of local worker processes to
+// fork (ranks-1 when negative; fewer means the remainder must join by
+// hand). The returned cleanup reaps the worker processes and must run
+// after the cluster is closed.
+func launchTCP(ctx context.Context, args []string, listen string, ranks, spawn int, stderr io.Writer) (*mpi.Cluster, func(), error) {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, nil, err
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		ln.Close()
+		return nil, nil, err
+	}
+	if spawn < 0 || spawn > ranks-1 {
+		spawn = ranks - 1
+	}
+	workerArgs := append(append([]string{}, args...), "-worker", "-join", ln.Addr().String())
+	cmds := make([]*exec.Cmd, 0, spawn)
+	reap := func() {
+		for _, cmd := range cmds {
+			if werr := cmd.Wait(); werr != nil {
+				fmt.Fprintf(stderr, "meshgen: worker %d: %v\n", cmd.Process.Pid, werr)
+			}
+		}
+	}
+	for i := 0; i < spawn; i++ {
+		cmd := exec.CommandContext(ctx, exe, workerArgs...)
+		cmd.Stderr = stderr
+		cmd.Env = append(os.Environ(), workerEnv+"=1")
+		if err := cmd.Start(); err != nil {
+			ln.Close()
+			reap()
+			return nil, nil, fmt.Errorf("spawn worker %d: %w", i+1, err)
+		}
+		cmds = append(cmds, cmd)
+	}
+	cluster, err := mpi.AcceptTCP(ctx, ln, ranks)
+	if err != nil {
+		reap()
+		return nil, nil, fmt.Errorf("accept workers: %w", err)
+	}
+	return cluster, reap, nil
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestMain doubles as the worker re-exec entry point: the launcher spawns
+// os.Executable(), which under `go test` is the test binary, with
+// workerEnv set. Dispatch those invocations into run() so the end-to-end
+// launcher tests exercise real separate processes.
+func TestMain(m *testing.M) {
+	if os.Getenv(workerEnv) == "1" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+			os.Stderr.WriteString("meshgen worker: " + err.Error() + "\n")
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// TestRunTCPMatchesInProcess is the CLI acceptance gate for the TCP
+// transport: `meshgen -transport tcp -ranks 2` (launcher + one spawned
+// worker process) must write exactly the bytes of the in-process run with
+// the same flags, with the audit stage on in both.
+func TestRunTCPMatchesInProcess(t *testing.T) {
+	dir := t.TempDir()
+	inproc := filepath.Join(dir, "inproc.bin")
+	overTCP := filepath.Join(dir, "tcp.bin")
+
+	base := []string{
+		"-n", "24", "-farfield", "6", "-ranks", "2",
+		"-h0", "0.08", "-hmax", "2", "-bl-h0", "3e-3", "-bl-layers", "8",
+		"-format", "binary", "-audit", "-q",
+	}
+	var errb bytes.Buffer
+	if err := run(context.Background(), append(base, "-o", inproc), &bytes.Buffer{}, &errb); err != nil {
+		t.Fatalf("in-process run: %v\n%s", err, errb.String())
+	}
+	errb.Reset()
+	if err := run(context.Background(), append(base, "-transport", "tcp", "-o", overTCP), &bytes.Buffer{}, &errb); err != nil {
+		t.Fatalf("tcp run: %v\n%s", err, errb.String())
+	}
+
+	a, err := os.ReadFile(inproc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(overTCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("in-process run wrote an empty mesh")
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("tcp mesh (%d bytes) differs from in-process mesh (%d bytes)", len(b), len(a))
+	}
+}
+
+// TestRunTCPHandJoinedWorkers: with -spawn 0 the launcher forks nothing
+// and waits for the workers to join by themselves, which is how remote or
+// debugger-wrapped workers attach. Both roles run in this process (the
+// TCP fabric does not care), and the launcher's mesh must match the
+// in-process run byte for byte.
+func TestRunTCPHandJoinedWorkers(t *testing.T) {
+	dir := t.TempDir()
+	inproc := filepath.Join(dir, "inproc.bin")
+	overTCP := filepath.Join(dir, "tcp.bin")
+
+	// Reserve a port for the launcher: listen, read the address, close.
+	// The window between Close and the launcher's Listen is racy in
+	// principle, but nothing else in the test binary is binding ports.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	base := []string{
+		"-n", "24", "-farfield", "6", "-ranks", "2",
+		"-h0", "0.08", "-hmax", "2", "-bl-h0", "3e-3", "-bl-layers", "8",
+		"-format", "binary", "-audit", "-q",
+	}
+	var errb bytes.Buffer
+	if err := run(context.Background(), append(base, "-o", inproc), &bytes.Buffer{}, &errb); err != nil {
+		t.Fatalf("in-process run: %v\n%s", err, errb.String())
+	}
+
+	launcherErr := make(chan error, 1)
+	go func() {
+		var b bytes.Buffer
+		err := run(context.Background(),
+			append(base, "-transport", "tcp", "-spawn", "0", "-listen", addr, "-o", overTCP),
+			&bytes.Buffer{}, &b)
+		if err != nil {
+			err = fmt.Errorf("%w\n%s", err, b.String())
+		}
+		launcherErr <- err
+	}()
+
+	// The worker dials once, so retry until the launcher is listening.
+	var werr error
+	for i := 0; i < 100; i++ {
+		werr = run(context.Background(), append(base, "-worker", "-join", addr),
+			&bytes.Buffer{}, &bytes.Buffer{})
+		if werr == nil || !strings.Contains(werr.Error(), "connection refused") {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if werr != nil {
+		t.Fatalf("hand-joined worker: %v", werr)
+	}
+	if err := <-launcherErr; err != nil {
+		t.Fatalf("launcher: %v", err)
+	}
+
+	a, err := os.ReadFile(inproc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(overTCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("hand-joined tcp mesh (%d bytes) differs from in-process mesh (%d bytes)", len(b), len(a))
+	}
+}
+
+// TestRunWorkerFlagValidation: a worker without a launcher address must
+// fail fast instead of dialing nothing.
+func TestRunWorkerFlagValidation(t *testing.T) {
+	err := run(context.Background(), []string{"-worker"}, &bytes.Buffer{}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("worker without -join succeeded")
+	}
+}
+
+// TestRunUnknownTransport rejects transports the build does not provide.
+func TestRunUnknownTransport(t *testing.T) {
+	err := run(context.Background(), fastArgs("-transport", "infiniband"), &bytes.Buffer{}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+}

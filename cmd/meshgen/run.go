@@ -28,7 +28,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		input      = fs.String("input", "", "read the PSLG from a Triangle .poly file instead of -geometry")
 		writePoly  = fs.String("write-poly", "", "also write the generated PSLG to this .poly file")
 		nHalf      = fs.Int("n", 64, "surface resolution (half-points per element)")
-		ranks      = fs.Int("ranks", 4, "simulated MPI ranks")
+		ranks      = fs.Int("ranks", 4, "MPI ranks (goroutines with -transport inproc, processes with tcp)")
+		transport  = fs.String("transport", "inproc", "rank transport: inproc | tcp (spawns ranks-1 worker processes)")
+		listen     = fs.String("listen", "127.0.0.1:0", "launcher listen address for -transport tcp")
+		spawn      = fs.Int("spawn", -1, "worker processes the launcher forks locally (-1 = ranks-1; 0 = all workers join by hand)")
+		worker     = fs.Bool("worker", false, "run as a spawned worker process (internal; requires -join)")
+		join       = fs.String("join", "", "address of the launcher to join as a worker")
 		farfield   = fs.Float64("farfield", 30, "far-field half-width in chords")
 		h0         = fs.Float64("bl-h0", 4e-4, "first boundary-layer height")
 		ratio      = fs.Float64("bl-ratio", 1.25, "boundary-layer growth ratio")
@@ -54,6 +59,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+	if *worker {
+		// Workers run the identical SPMD pipeline but produce no artifacts
+		// of their own: the launcher owns the mesh, the stats, and every
+		// observability output.
+		if *join == "" {
+			return fmt.Errorf("-worker requires -join <launcher address>")
+		}
+		*cpuProf, *memProf, *traceOut, *metricsOut, *writePoly = "", "", "", "", ""
 	}
 
 	if *cpuProf != "" {
@@ -142,6 +156,33 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown kernel %q", *kernel)
 	}
 
+	var fabric *mpi.Cluster
+	switch {
+	case *worker:
+		cluster, err := mpi.JoinTCP(ctx, *join)
+		if err != nil {
+			return fmt.Errorf("join %s: %w", *join, err)
+		}
+		defer cluster.Close()
+		cfg.Fabric = cluster
+		cfg.Ranks = cluster.Size()
+		if _, err := core.GenerateContext(ctx, cfg); err != nil {
+			return err
+		}
+		return finalizeTCP(ctx, cluster)
+	case *transport == "tcp":
+		cluster, reap, err := launchTCP(ctx, args, *listen, *ranks, *spawn, stderr)
+		if err != nil {
+			return err
+		}
+		defer reap()
+		defer cluster.Close()
+		cfg.Fabric = cluster
+		fabric = cluster
+	case *transport != "inproc":
+		return fmt.Errorf("unknown transport %q", *transport)
+	}
+
 	var tracer *trace.Tracer
 	if *traceOut != "" || *metricsOut != "" {
 		tracer = trace.New(cfg.Ranks)
@@ -150,6 +191,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	poolGets0, poolPuts0 := mpi.PoolCounters()
 
 	res, err := core.GenerateContext(ctx, cfg)
+	if err == nil && fabric != nil {
+		err = finalizeTCP(ctx, fabric)
+	}
 
 	// Export the trace and metrics even when generation failed: the
 	// partial record of an aborted run is usually the record being
@@ -226,6 +270,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// finalizeTCP synchronizes pipeline completion across the fabric's
+// processes before any of them tears its connections down: without the
+// barrier the launcher could close the cluster while a worker is still
+// draining the last result broadcast, failing the worker with a link EOF.
+// A process that errored out of generation skips the barrier and closes
+// its cluster instead, which releases the others with ErrWorldClosed
+// rather than hanging them. Only the barrier's own result matters: once
+// it releases, every process has finished, and a world teardown caused by
+// a peer closing immediately afterwards is the expected shutdown, not an
+// error (RunCtx would otherwise report that race as the run's failure).
+func finalizeTCP(ctx context.Context, cluster *mpi.Cluster) error {
+	w := cluster.NewWorld()
+	var berr error
+	_ = w.RunCtx(ctx, func(c *mpi.Comm) error { berr = c.Barrier(); return nil })
+	return berr
 }
 
 // writeObservability exports the tracer's Chrome trace-event file and/or

@@ -143,7 +143,7 @@ func runAuditJobs(rc *RunCtx, s *audit.Snapshot, jobs []audit.Job) ([]*auditJobR
 	cfg := rc.cfg
 	hook := cfg.testTaskHook
 	tr := rc.tracer
-	world := mpi.NewWorld(cfg.Ranks)
+	world := rc.newWorld()
 	world.SetTracer(tr)
 	win := world.NewWindow(cfg.Ranks)
 
@@ -228,25 +228,66 @@ func runAuditJobs(rc *RunCtx, s *audit.Snapshot, jobs []audit.Job) ([]*auditJobR
 	mu.Lock()
 	firstTaskErr := taskErr
 	mu.Unlock()
-	if firstTaskErr != nil {
+	// Mirror runDistributed: a local task failure must survive to the
+	// cross-process agreement below, or the other processes would hang in
+	// the collective waiting for this one.
+	if firstTaskErr != nil && !world.MultiProcess() {
 		return nil, firstTaskErr
 	}
 
 	results := make([]*auditJobResult, len(jobs))
 	collected := 0
+	agreedErrRank := -1
 	err = world.RunCtx(rc.ctx, func(c *mpi.Comm) error {
-		if c.Rank() != 0 {
+		if c.Rank() == 0 {
+			for collected < len(jobs) {
+				ref, _, _, ok := c.TryRecvRef(mpi.AnySource, tagResult)
+				if !ok {
+					break
+				}
+				if r, ok := ref.(*auditJobResult); ok {
+					results[r.job] = r
+					collected++
+				}
+			}
+		}
+		if !world.MultiProcess() {
 			return nil
 		}
-		for collected < len(jobs) {
-			ref, _, _, ok := c.TryRecvRef(mpi.AnySource, tagResult)
-			if !ok {
-				break
+		// Failure agreement, then the root's re-broadcast of the reduced
+		// findings so every process folds the identical report.
+		flag := -1.0
+		mu.Lock()
+		if taskErr != nil {
+			flag = float64(c.Rank())
+		}
+		mu.Unlock()
+		agreed, aerr := c.Allreduce(rc.ctx, tagErrSync, []float64{flag}, mpi.OpMax)
+		if aerr != nil {
+			return aerr
+		}
+		if agreed[0] >= 0 {
+			agreedErrRank = int(agreed[0])
+			return nil
+		}
+		var payload []byte
+		if c.Rank() == 0 {
+			if collected != len(jobs) {
+				return fmt.Errorf("collected %d of %d audit job results", collected, len(jobs))
 			}
-			if r, ok := ref.(*auditJobResult); ok {
-				results[r.job] = r
-				collected++
+			payload = encodeAuditResults(results)
+		}
+		d, berr := c.Bcast(rc.ctx, 0, tagResultSync, payload)
+		if berr != nil {
+			return berr
+		}
+		if c.Rank() != 0 {
+			derr := decodeAuditResultsInto(d, results)
+			mpi.PutBytes(d)
+			if derr != nil {
+				return derr
 			}
+			collected = len(jobs)
 		}
 		return nil
 	})
@@ -255,6 +296,12 @@ func runAuditJobs(rc *RunCtx, s *audit.Snapshot, jobs []audit.Job) ([]*auditJobR
 	}
 	if err != nil {
 		return nil, phaseError(StageAudit, err)
+	}
+	if firstTaskErr != nil {
+		return nil, firstTaskErr
+	}
+	if agreedErrRank >= 0 {
+		return nil, &PhaseError{Stage: StageAudit, Rank: agreedErrRank, Err: fmt.Errorf("audit job failed on rank %d", agreedErrRank)}
 	}
 	if collected != len(jobs) {
 		return nil, &PhaseError{Stage: StageAudit, Rank: -1, Err: fmt.Errorf("collected %d of %d audit job results", collected, len(jobs))}

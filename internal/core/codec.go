@@ -1,0 +1,242 @@
+package core
+
+// Wire codecs for the pipeline's by-reference result types, registered in
+// the mpi block reserved for core (32–47). In-process they never run —
+// results travel as pointers — but over a multi-process fabric every
+// rank-to-root result send serializes through these, and the root's
+// result re-broadcast packs the collected arrays with the same entry
+// encoders so both directions share one format.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"pamg2d/internal/audit"
+	"pamg2d/internal/mpi"
+)
+
+const (
+	codecTaskResult  mpi.CodecID = 32
+	codecAuditResult mpi.CodecID = 33
+)
+
+func encodeTaskResultRef(ref any, dst []byte) []byte {
+	r := ref.(*taskResult)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(r.id))
+	for _, v := range r.tris {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+func decodeTaskResultRef(b []byte) (any, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("core: task result frame of %d bytes, want >= 4", len(b))
+	}
+	body := b[4:]
+	if len(body)%8 != 0 {
+		return nil, fmt.Errorf("core: task result floats of %d bytes not a multiple of 8", len(body))
+	}
+	r := &taskResult{id: int32(binary.LittleEndian.Uint32(b))}
+	if n := len(body) / 8; n > 0 {
+		r.tris = make([]float64, n)
+		for i := range r.tris {
+			r.tris[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:]))
+		}
+	}
+	return r, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+func encodeAuditResultRef(ref any, dst []byte) []byte {
+	r := ref.(*auditJobResult)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(r.job))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(r.wall))
+	dst = binary.LittleEndian.AppendUint64(dst, r.allocs)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(r.count))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.violations)))
+	for _, v := range r.violations {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(v.Rank))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(v.Element))
+		dst = appendString(dst, v.Check)
+		dst = appendString(dst, v.Detail)
+	}
+	return dst
+}
+
+// auditCursor walks an audit-result body with bounds checks; short input
+// surfaces as err rather than a panic, because the bytes crossed a
+// process boundary.
+type auditCursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *auditCursor) u32() uint32 {
+	if c.err != nil || c.off+4 > len(c.b) {
+		c.err = fmt.Errorf("core: truncated audit result frame")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(c.b[c.off:])
+	c.off += 4
+	return v
+}
+
+func (c *auditCursor) u64() uint64 {
+	if c.err != nil || c.off+8 > len(c.b) {
+		c.err = fmt.Errorf("core: truncated audit result frame")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.b[c.off:])
+	c.off += 8
+	return v
+}
+
+func (c *auditCursor) str() string {
+	n := int(c.u32())
+	if c.err != nil || n < 0 || c.off+n > len(c.b) {
+		if c.err == nil {
+			c.err = fmt.Errorf("core: truncated audit result string")
+		}
+		return ""
+	}
+	s := string(c.b[c.off : c.off+n])
+	c.off += n
+	return s
+}
+
+func decodeAuditResultRef(b []byte) (any, error) {
+	c := &auditCursor{b: b}
+	r := &auditJobResult{
+		job:    int32(c.u32()),
+		wall:   time.Duration(c.u64()),
+		allocs: c.u64(),
+		count:  int(int32(c.u32())),
+	}
+	nv := int(int32(c.u32()))
+	if c.err != nil {
+		return nil, c.err
+	}
+	if nv < 0 || nv > len(b) {
+		return nil, fmt.Errorf("core: audit result claims %d violations in %d bytes", nv, len(b))
+	}
+	for i := 0; i < nv; i++ {
+		v := audit.Violation{
+			Rank:    int(int32(c.u32())),
+			Element: int(int32(c.u32())),
+		}
+		v.Check = c.str()
+		v.Detail = c.str()
+		if c.err != nil {
+			return nil, c.err
+		}
+		r.violations = append(r.violations, v)
+	}
+	if c.off != len(b) {
+		return nil, fmt.Errorf("core: %d trailing bytes after audit result", len(b)-c.off)
+	}
+	return r, nil
+}
+
+func init() {
+	mpi.RegisterCodec(codecTaskResult, &taskResult{}, encodeTaskResultRef, decodeTaskResultRef)
+	mpi.RegisterCodec(codecAuditResult, &auditJobResult{}, encodeAuditResultRef, decodeAuditResultRef)
+}
+
+// encodeResults packs the root's collected per-task result arrays for the
+// post-collection broadcast that keeps every process's pipeline state
+// identical in multi-process runs.
+func encodeResults(results [][]float64) []byte {
+	n := 4
+	for _, r := range results {
+		n += 4 + 8*len(r)
+	}
+	dst := make([]byte, 0, n)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(results)))
+	for _, r := range results {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r)))
+		for _, v := range r {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+	}
+	return dst
+}
+
+// decodeResultsInto unpacks an encodeResults payload into results, which
+// must already have the task count's length.
+func decodeResultsInto(b []byte, results [][]float64) error {
+	c := &auditCursor{b: b}
+	if n := int(c.u32()); c.err == nil && n != len(results) {
+		return fmt.Errorf("core: result broadcast carries %d tasks, want %d", n, len(results))
+	}
+	for i := range results {
+		nv := int(int32(c.u32()))
+		if c.err != nil {
+			return c.err
+		}
+		if nv < 0 || c.off+8*nv > len(b) {
+			return fmt.Errorf("core: truncated result broadcast at task %d", i)
+		}
+		var vals []float64
+		if nv > 0 {
+			vals = make([]float64, nv)
+			for k := range vals {
+				vals[k] = math.Float64frombits(binary.LittleEndian.Uint64(b[c.off+8*k:]))
+			}
+		}
+		c.off += 8 * nv
+		results[i] = vals
+	}
+	if c.err != nil {
+		return c.err
+	}
+	if c.off != len(b) {
+		return fmt.Errorf("core: %d trailing bytes after result broadcast", len(b)-c.off)
+	}
+	return nil
+}
+
+// encodeAuditResults / decodeAuditResultsInto are the audit stage's
+// counterpart of the result broadcast, reusing the per-entry codec.
+func encodeAuditResults(results []*auditJobResult) []byte {
+	dst := binary.LittleEndian.AppendUint32(nil, uint32(len(results)))
+	for _, r := range results {
+		entry := encodeAuditResultRef(r, nil)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(entry)))
+		dst = append(dst, entry...)
+	}
+	return dst
+}
+
+func decodeAuditResultsInto(b []byte, results []*auditJobResult) error {
+	c := &auditCursor{b: b}
+	if n := int(c.u32()); c.err == nil && n != len(results) {
+		return fmt.Errorf("core: audit broadcast carries %d jobs, want %d", n, len(results))
+	}
+	for i := range results {
+		n := int(int32(c.u32()))
+		if c.err != nil {
+			return c.err
+		}
+		if n < 0 || c.off+n > len(b) {
+			return fmt.Errorf("core: truncated audit broadcast at job %d", i)
+		}
+		ref, err := decodeAuditResultRef(b[c.off : c.off+n])
+		if err != nil {
+			return err
+		}
+		c.off += n
+		results[i] = ref.(*auditJobResult)
+	}
+	if c.off != len(b) {
+		return fmt.Errorf("core: %d trailing bytes after audit broadcast", len(b)-c.off)
+	}
+	return nil
+}

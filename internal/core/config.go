@@ -30,6 +30,7 @@ import (
 	"pamg2d/internal/blayer"
 	"pamg2d/internal/loadbal"
 	"pamg2d/internal/mesh"
+	"pamg2d/internal/mpi"
 	"pamg2d/internal/pslg"
 	"pamg2d/internal/sizing"
 	"pamg2d/internal/trace"
@@ -53,8 +54,19 @@ type Config struct {
 	Gradation float64
 	// HMax caps the far-field edge length.
 	HMax float64
-	// Ranks is the number of simulated MPI ranks.
+	// Ranks is the number of MPI ranks. With the default in-process
+	// fabric they are simulated by goroutines; with a Fabric attached the
+	// count must match (or be left zero to adopt) the fabric's size.
 	Ranks int
+	// Fabric, when non-nil, supplies the rank communication transport the
+	// distributed stages run over — typically one process per rank joined
+	// over TCP (mpi.AcceptTCP / mpi.JoinTCP). Every process of the fabric
+	// must call Generate with an identical configuration: the pipeline is
+	// SPMD, running the sequential stages redundantly on each process and
+	// splitting only the distributed phases, whose collected results the
+	// root re-broadcasts so all processes merge the same mesh. Nil selects
+	// the in-process fabric (goroutine ranks, zero-copy transfers).
+	Fabric *mpi.Cluster
 	// SubdomainsPerRank sets the decoupling target (the paper
 	// over-decomposes for load balancing); default 4.
 	SubdomainsPerRank int

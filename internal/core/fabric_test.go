@@ -1,0 +1,221 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"pamg2d/internal/airfoil"
+	"pamg2d/internal/blayer"
+	"pamg2d/internal/loadbal"
+	"pamg2d/internal/mpi"
+	"pamg2d/internal/project"
+)
+
+// runOnFabric runs fn as one SPMD process per loopback-TCP cluster member
+// and returns the per-process errors.
+func runOnFabric(t *testing.T, ranks int, fn func(i int, cl *mpi.Cluster) error) []error {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	t.Cleanup(cancel)
+	clusters, err := mpi.LoopbackClusters(ctx, ranks)
+	if err != nil {
+		t.Fatalf("LoopbackClusters(%d): %v", ranks, err)
+	}
+	t.Cleanup(func() {
+		for _, cl := range clusters {
+			cl.Close()
+		}
+	})
+	errs := make([]error, ranks)
+	var wg sync.WaitGroup
+	for i, cl := range clusters {
+		wg.Add(1)
+		go func(i int, cl *mpi.Cluster) {
+			defer wg.Done()
+			errs[i] = fn(i, cl)
+		}(i, cl)
+	}
+	wg.Wait()
+	return errs
+}
+
+func meshBytes(t *testing.T, r *Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.Mesh.WriteBinary(&buf); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestGenerateTCPByteIdentical is the transport acceptance gate: the full
+// audited pipeline over a loopback TCP fabric produces, on every process,
+// a mesh byte-identical to the in-process run at the same rank count.
+func TestGenerateTCPByteIdentical(t *testing.T) {
+	for _, ranks := range []int{1, 4} {
+		t.Run(fmt.Sprintf("ranks-%d", ranks), func(t *testing.T) {
+			cfg := smallConfig(ranks)
+			cfg.Audit = true
+			want, err := Generate(cfg)
+			if err != nil {
+				t.Fatalf("in-process Generate: %v", err)
+			}
+			wantBytes := meshBytes(t, want)
+			if want.Stats.Audit == nil || !want.Stats.Audit.Ok() {
+				t.Fatalf("in-process audit not clean: %v", want.Stats.Audit)
+			}
+
+			results := make([]*Result, ranks)
+			errs := runOnFabric(t, ranks, func(i int, cl *mpi.Cluster) error {
+				c := cfg
+				c.Fabric = cl
+				res, err := GenerateContext(context.Background(), c)
+				results[i] = res
+				return err
+			})
+			for i, err := range errs {
+				if err != nil {
+					t.Fatalf("process %d: %v", i, err)
+				}
+			}
+			for i, r := range results {
+				if r.Stats.Audit == nil || !r.Stats.Audit.Ok() {
+					t.Errorf("process %d audit not clean: %v", i, r.Stats.Audit)
+				}
+				if got := meshBytes(t, r); !bytes.Equal(got, wantBytes) {
+					t.Errorf("process %d: mesh (%d bytes, %d triangles) differs from in-process run (%d bytes, %d triangles)",
+						i, len(got), r.Mesh.NumTriangles(), len(wantBytes), want.Mesh.NumTriangles())
+				}
+			}
+		})
+	}
+}
+
+// fig08Tasks builds the Figure 8 workload: the boundary-layer point cloud
+// of a NACA 0012 decomposed into projection subdomains, one BL-leaf task
+// per subdomain — the same task form the bl-triangulation stage feeds the
+// balancer.
+func fig08Tasks(t *testing.T) []loadbal.Task {
+	t.Helper()
+	cfg := airfoil.Single(airfoil.NACA0012, 96, 20)
+	g, err := cfg.Graph()
+	if err != nil {
+		t.Fatalf("graph: %v", err)
+	}
+	layers := blayer.Generate(g, blayer.DefaultParams())
+	root := project.New(layers[0].AllPoints())
+	leaves, _ := project.Decompose(root, project.Options{MinVerts: 16, MaxDepth: 5})
+	tasks := make([]loadbal.Task, len(leaves))
+	for i, leaf := range leaves {
+		leaf.DropYSorted()
+		tasks[i] = loadbal.Task{
+			ID:            int32(i),
+			Cost:          float64(leaf.Len()),
+			BoundaryLayer: true,
+			Vals:          blLeafVals(leaf),
+		}
+	}
+	return tasks
+}
+
+// TestRunDistributedTCPMatchesInProcess drives the distributed executor
+// directly with the Figure 8 workload on both transports: every process of
+// the TCP run must end up with exactly the result floats the in-process
+// run collected, proving the collection + re-broadcast path is lossless.
+func TestRunDistributedTCPMatchesInProcess(t *testing.T) {
+	const ranks = 4
+	tasks := fig08Tasks(t)
+	if len(tasks) < 2*ranks {
+		t.Fatalf("only %d tasks; workload too small to exercise stealing", len(tasks))
+	}
+	mk := func(fabric *mpi.Cluster) *RunCtx {
+		cfg := DefaultConfig()
+		cfg.Ranks = ranks
+		cfg.Fabric = fabric
+		res := &Result{}
+		return &RunCtx{ctx: context.Background(), cfg: cfg, stats: &res.Stats, res: res}
+	}
+	g, err := airfoil.Single(airfoil.NACA0012, 96, 20).Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tctx := taskCtx{frame: g.Farfield.BBox()}
+
+	want, err := runDistributed(mk(nil), StageBLTriangulation, tasks, tctx)
+	if err != nil {
+		t.Fatalf("in-process runDistributed: %v", err)
+	}
+
+	all := make([][][]float64, ranks)
+	errs := runOnFabric(t, ranks, func(i int, cl *mpi.Cluster) error {
+		got, err := runDistributed(mk(cl), StageBLTriangulation, tasks, tctx)
+		all[i] = got
+		return err
+	})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("process %d: %v", i, err)
+		}
+	}
+	for p, got := range all {
+		if len(got) != len(want) {
+			t.Fatalf("process %d: %d results, want %d", p, len(got), len(want))
+		}
+		for ti := range want {
+			if len(got[ti]) != len(want[ti]) {
+				t.Fatalf("process %d task %d: %d floats, want %d", p, ti, len(got[ti]), len(want[ti]))
+			}
+			for k := range want[ti] {
+				if got[ti][k] != want[ti][k] {
+					t.Fatalf("process %d task %d: float %d differs", p, ti, k)
+				}
+			}
+		}
+	}
+}
+
+// TestGenerateTCPTaskFailureAgreement injects a task failure on exactly
+// one process: the post-phase agreement must fail the run on every
+// process, attributed to the failing rank, instead of letting the healthy
+// processes mesh on alone.
+func TestGenerateTCPTaskFailureAgreement(t *testing.T) {
+	const ranks = 2
+	boom := errors.New("injected task failure")
+	errs := runOnFabric(t, ranks, func(i int, cl *mpi.Cluster) error {
+		c := smallConfig(ranks)
+		c.Fabric = cl
+		if i == 1 {
+			c.testTaskHook = func(stage string, kind int) error {
+				if stage == StageInviscid {
+					return boom
+				}
+				return nil
+			}
+		}
+		_, err := GenerateContext(context.Background(), c)
+		return err
+	})
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("process %d: run succeeded despite a task failure on rank 1", i)
+		}
+		var pe *PhaseError
+		if !errors.As(err, &pe) {
+			t.Fatalf("process %d: %T (%v), want *PhaseError", i, err, err)
+		}
+		if pe.Stage != StageInviscid {
+			t.Errorf("process %d: failure attributed to stage %q, want %q", i, pe.Stage, StageInviscid)
+		}
+		if pe.Rank != 1 {
+			t.Errorf("process %d: failure attributed to rank %d, want 1", i, pe.Rank)
+		}
+	}
+	if !errors.Is(errs[1], boom) {
+		t.Errorf("failing process lost the original cause: %v", errs[1])
+	}
+}

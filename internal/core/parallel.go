@@ -21,6 +21,14 @@ import (
 // balancer's range).
 const (
 	tagResult = iota + 200
+	// tagErrSync and the slot after it carry the post-phase failure
+	// agreement of multi-process runs (an Allreduce, which consumes two
+	// consecutive tags).
+	tagErrSync
+	_
+	// tagResultSync carries the root's re-broadcast of the collected
+	// results in multi-process runs.
+	tagResultSync
 )
 
 // taskKind distinguishes the payload encodings.
@@ -246,13 +254,14 @@ func runDistributed(rc *RunCtx, stage string, tasks []loadbal.Task, tctx taskCtx
 		tctx.hook = func(kind int) error { return hook(stage, kind) }
 	}
 	tr := rc.tracer
-	world := mpi.NewWorld(cfg.Ranks)
+	world := rc.newWorld()
 	world.SetTracer(tr)
 	win := world.NewWindow(cfg.Ranks)
 
-	// Deal tasks round-robin (the root would send them in a distributed
-	// setting; the payload bytes are already accounted by the result
-	// sends).
+	// Deal tasks round-robin. Every process computed the identical task
+	// list (the pipeline is SPMD), so in a multi-process run each process
+	// simply keeps the share of its own rank; in-process, the root's deal
+	// is the distribution.
 	initial := make([][]loadbal.Task, cfg.Ranks)
 	for i, t := range tasks {
 		r := i % cfg.Ranks
@@ -327,31 +336,77 @@ func runDistributed(rc *RunCtx, stage string, tasks []loadbal.Task, tctx taskCtx
 	mu.Lock()
 	firstTaskErr := taskErr
 	mu.Unlock()
-	if firstTaskErr != nil {
+	// A task failure is local knowledge: in a multi-process run the other
+	// processes completed the phase cleanly (the failed task shipped a nil
+	// result) and must be told before anyone returns, or they would march
+	// on alone. The agreement below handles that; in-process, everyone
+	// shares taskErr and the phase can fail immediately.
+	if firstTaskErr != nil && !world.MultiProcess() {
 		return nil, firstTaskErr
 	}
 
 	// Drain the results at the root (they were all enqueued before the
-	// balancer's termination).
+	// balancer's termination: each rank's result sends precede its
+	// completion signals on the same ordered channel, and the balancer
+	// terminates only after the root has observed every completion). In a
+	// multi-process run the drain is followed by the failure agreement and
+	// the root's re-broadcast of the full result set, so every process
+	// leaves the phase with identical state.
 	results := make([][]float64, len(tasks))
 	collected := 0
+	agreedErrRank := -1
 	err = world.RunCtx(rc.ctx, func(c *mpi.Comm) error {
-		if c.Rank() != 0 {
+		if c.Rank() == 0 {
+			for collected < len(tasks) {
+				ref, _, _, ok := c.TryRecvRef(mpi.AnySource, tagResult)
+				if !ok {
+					break
+				}
+				switch p := ref.(type) {
+				case *taskResult:
+					results[p.id] = p.tris
+				case []byte:
+					vals := mpi.DecodeFloats(p)
+					results[int(vals[0])] = vals[1:]
+				}
+				collected++
+			}
+		}
+		if !world.MultiProcess() {
 			return nil
 		}
-		for collected < len(tasks) {
-			ref, _, _, ok := c.TryRecvRef(mpi.AnySource, tagResult)
-			if !ok {
-				break
+		flag := -1.0
+		mu.Lock()
+		if taskErr != nil {
+			flag = float64(c.Rank())
+		}
+		mu.Unlock()
+		agreed, aerr := c.Allreduce(rc.ctx, tagErrSync, []float64{flag}, mpi.OpMax)
+		if aerr != nil {
+			return aerr
+		}
+		if agreed[0] >= 0 {
+			agreedErrRank = int(agreed[0])
+			return nil
+		}
+		var payload []byte
+		if c.Rank() == 0 {
+			if collected != len(tasks) {
+				return fmt.Errorf("collected %d of %d task results", collected, len(tasks))
 			}
-			switch p := ref.(type) {
-			case *taskResult:
-				results[p.id] = p.tris
-			case []byte:
-				vals := mpi.DecodeFloats(p)
-				results[int(vals[0])] = vals[1:]
+			payload = encodeResults(results)
+		}
+		d, berr := c.Bcast(rc.ctx, 0, tagResultSync, payload)
+		if berr != nil {
+			return berr
+		}
+		if c.Rank() != 0 {
+			derr := decodeResultsInto(d, results)
+			mpi.PutBytes(d)
+			if derr != nil {
+				return derr
 			}
-			collected++
+			collected = len(tasks)
 		}
 		return nil
 	})
@@ -360,6 +415,12 @@ func runDistributed(rc *RunCtx, stage string, tasks []loadbal.Task, tctx taskCtx
 	}
 	if err != nil {
 		return nil, phaseError(stage, err)
+	}
+	if firstTaskErr != nil {
+		return nil, firstTaskErr
+	}
+	if agreedErrRank >= 0 {
+		return nil, &PhaseError{Stage: stage, Rank: agreedErrRank, Err: fmt.Errorf("task failed on rank %d", agreedErrRank)}
 	}
 	if collected != len(tasks) {
 		return nil, &PhaseError{Stage: stage, Rank: -1, Err: fmt.Errorf("collected %d of %d task results", collected, len(tasks))}

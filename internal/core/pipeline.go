@@ -38,6 +38,13 @@ func GenerateContext(ctx context.Context, cfg Config) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if cfg.Fabric != nil {
+		if cfg.Ranks < 1 {
+			cfg.Ranks = cfg.Fabric.Size()
+		} else if cfg.Ranks != cfg.Fabric.Size() {
+			return nil, fmt.Errorf("core: config asks for %d ranks but the fabric has %d", cfg.Ranks, cfg.Fabric.Size())
+		}
+	}
 	if cfg.Ranks < 1 {
 		cfg.Ranks = 1
 	}

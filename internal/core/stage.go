@@ -187,6 +187,18 @@ type RunCtx struct {
 // Context returns the run's cancellation context.
 func (rc *RunCtx) Context() context.Context { return rc.ctx }
 
+// newWorld mints the world a distributed stage runs on: from the
+// configured fabric when one is attached (each process hosts its own
+// rank; worlds pair across processes by creation order, which is why
+// every process must run the identical stage sequence), otherwise the
+// classic in-process world.
+func (rc *RunCtx) newWorld() *mpi.World {
+	if rc.cfg.Fabric != nil {
+		return rc.cfg.Fabric.NewWorld()
+	}
+	return mpi.NewWorld(rc.cfg.Ranks)
+}
+
 // mallocCount reads the cumulative heap allocation counter; deltas between
 // stage boundaries feed the StageStat records.
 func mallocCount() uint64 {

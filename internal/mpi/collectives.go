@@ -78,7 +78,86 @@ func (c *Comm) Allreduce(ctx context.Context, tag int, data []float64, op Op) ([
 	if err != nil {
 		return nil, err
 	}
-	return DecodeFloats(d), nil
+	v := DecodeFloats(d)
+	if c.rank != 0 && c.world.MultiProcess() {
+		// Over a wire the received payload is a private pooled buffer;
+		// in-process it aliases the root's allocation shared by every rank
+		// and must not be recycled.
+		PutBytes(d)
+	}
+	return v, nil
+}
+
+// Bcast sends data from the root to every other rank along a binomial
+// tree; all ranks return the payload. Non-root waits honor ctx.
+//
+// The tree keeps the root from serializing n-1 sends on a real wire: in
+// virtual rank order (vr = (rank-root) mod n), each rank receives from
+// its parent and then forwards to vr+1, vr+2, vr+4, ... — log2(n) rounds
+// in which the set of senders doubles. In-process forwards alias the one
+// payload (the zero-copy path, matching the old sequential loop's
+// semantics exactly); forwards that cross a process boundary ship a
+// pooled duplicate, because the transport recycles a sent payload while
+// local children may still be reading the original.
+func (c *Comm) Bcast(ctx context.Context, root, tag int, data []byte) ([]byte, error) {
+	n := c.world.n
+	if n == 1 {
+		return data, nil
+	}
+	vr := c.rank - root
+	if vr < 0 {
+		vr += n
+	}
+	if vr != 0 {
+		parent := (bcastParent(vr) + root) % n
+		d, _, _, err := c.Recv(ctx, parent, tag)
+		if err != nil {
+			return nil, err
+		}
+		data = d
+	}
+	for _, child := range bcastChildren(vr, n, nil) {
+		to := (child + root) % n
+		payload := data
+		if !c.world.rankIsLocal(to) && len(data) > 0 {
+			payload = GetBytes(len(data))
+			copy(payload, data)
+		}
+		if err := c.Send(to, tag, payload); err != nil {
+			if !sameSlice(payload, data) {
+				PutBytes(payload)
+			}
+			return nil, err
+		}
+	}
+	return data, nil
+}
+
+// bcastParent returns the virtual rank vr receives from: vr with its
+// lowest set bit cleared.
+func bcastParent(vr int) int { return vr & (vr - 1) }
+
+// bcastChildren appends to dst the virtual ranks vr forwards to — vr+mask
+// for every power-of-two mask below vr's lowest set bit — largest subtree
+// first so the longest chain starts earliest.
+func bcastChildren(vr, n int, dst []int) []int {
+	top := 1
+	for top < n {
+		top <<= 1
+	}
+	for mask := top >> 1; mask > 0; mask >>= 1 {
+		if vr&(mask-1) != 0 || vr&mask != 0 {
+			continue
+		}
+		if child := vr + mask; child < n {
+			dst = append(dst, child)
+		}
+	}
+	return dst
+}
+
+func sameSlice(a, b []byte) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
 }
 
 // Scatter distributes one payload per rank from the root (MPI_Scatterv);

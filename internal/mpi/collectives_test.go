@@ -169,3 +169,41 @@ func TestMsgQueueCompaction(t *testing.T) {
 		t.Fatal("queue must be empty")
 	}
 }
+
+// TestBcastBinomialTopology pins the broadcast tree shape: every
+// non-root virtual rank is forwarded to exactly once, parent/child edges
+// agree, and no rank — the root included — sends more than ceil(log2 n)
+// messages, which is the whole point of the tree on a real wire.
+func TestBcastBinomialTopology(t *testing.T) {
+	for n := 1; n <= 40; n++ {
+		seen := make([]int, n)
+		maxFan := 0
+		for vr := 0; vr < n; vr++ {
+			kids := bcastChildren(vr, n, nil)
+			if len(kids) > maxFan {
+				maxFan = len(kids)
+			}
+			for _, c := range kids {
+				if c <= vr || c >= n {
+					t.Fatalf("n=%d: vr %d forwards to invalid child %d", n, vr, c)
+				}
+				if bcastParent(c) != vr {
+					t.Fatalf("n=%d: child %d of vr %d claims parent %d", n, c, vr, bcastParent(c))
+				}
+				seen[c]++
+			}
+		}
+		for vr := 1; vr < n; vr++ {
+			if seen[vr] != 1 {
+				t.Fatalf("n=%d: vr %d received %d forwards, want exactly 1", n, vr, seen[vr])
+			}
+		}
+		logN := 0
+		for 1<<logN < n {
+			logN++
+		}
+		if maxFan > logN {
+			t.Fatalf("n=%d: fan-out %d exceeds ceil(log2 n)=%d — root serializes again", n, maxFan, logN)
+		}
+	}
+}

@@ -160,21 +160,30 @@ func (mb *mailbox) match(from, tag int) (message, bool) {
 	return message{}, false
 }
 
-// World is a communicator spanning n ranks.
+// World is a communicator spanning n ranks. A world minted by NewWorld
+// hosts every rank in this process; one minted by Cluster.NewWorld over a
+// wire transport hosts exactly one (boxes has a single non-nil entry) and
+// routes the rest through the cluster.
 type World struct {
 	n       int
 	boxes   []*mailbox
 	stats   *Stats
-	barrier *barrier
+	barrier *barrier // in-process n-party barrier; nil for wire worlds
 	tracer  *trace.Tracer
+
+	cl       *Cluster  // nil for classic NewWorld worlds
+	epoch    uint64    // cluster-wide world sequence number
+	cb       *cbarrier // cross-process barrier; wire worlds only
+	closedCh chan struct{}
 
 	closeMu    sync.Mutex
 	closeCause error // write-once, guarded by closeMu before closed is set
 	closed     atomic.Bool
 
 	windows struct {
-		mu   sync.Mutex
-		list []*Window
+		mu      sync.Mutex
+		list    []*Window
+		pending []pendItem // wire ops for windows not yet created here
 	}
 }
 
@@ -196,17 +205,59 @@ func (w *World) Stats() *Stats { return w.stats }
 
 // SetTracer attaches a span tracer: every successful send is recorded as
 // a rank-attributed instant event carrying destination, tag, and wire
-// bytes. A nil tracer (the default) disables recording; the send path
-// then pays a single nil check. Set before the first Run — the field is
-// not synchronized against in-flight sends.
-func (w *World) SetTracer(tr *trace.Tracer) { w.tracer = tr }
+// bytes (real frame sizes for wire transports, serialized-equivalent
+// sizes for the in-process backend). An enabled tracer also stamps the
+// comm track with a "transport/<name>" instant so exported traces name
+// the backend. A nil tracer (the default) disables recording; the send
+// path then pays a single nil check. Set before the first Run — the
+// field is not synchronized against in-flight sends.
+func (w *World) SetTracer(tr *trace.Tracer) {
+	w.tracer = tr
+	if tr.Enabled() {
+		tr.Instant(w.LocalRank(), trace.CatMPI, "transport/"+w.TransportName())
+	}
+}
+
+// TransportName identifies the backend carrying this world's traffic.
+func (w *World) TransportName() string {
+	if w.cl != nil {
+		return w.cl.TransportName()
+	}
+	return "inproc"
+}
+
+// MultiProcess reports whether this world's ranks span more than one OS
+// process — i.e. whether peers can only be reached over a wire. Code
+// relying on shared memory between ranks (result collection without a
+// redistribution step) must branch on this.
+func (w *World) MultiProcess() bool {
+	return w.cl != nil && w.cl.tcp != nil && w.n > 1
+}
+
+// LocalRank returns the rank this process hosts (0 when all ranks are
+// local, which makes it the right track id for process-wide events).
+func (w *World) LocalRank() int {
+	if w.cl != nil {
+		return w.cl.rank
+	}
+	return 0
+}
+
+// rankIsLocal reports whether rank r lives in this process.
+func (w *World) rankIsLocal(r int) bool { return w.cl == nil || w.cl.isLocal(r) }
 
 // Close tears the world down: every blocked receive and barrier returns an
 // error matching ErrWorldClosed (wrapping cause), queued messages are
 // dropped with their pooled payloads released back to the pools, and later
 // sends fail. The first Close wins; subsequent calls are no-ops. RunCtx
 // calls Close automatically when a rank fails or the context is canceled.
-func (w *World) Close(cause error) {
+func (w *World) Close(cause error) { w.closeWith(cause, true) }
+
+// closeWith implements Close. notifyPeers distinguishes a locally
+// initiated teardown (which must be broadcast so every process of a wire
+// world unwinds) from one applied on behalf of a peer or the transport
+// (which must not echo back).
+func (w *World) closeWith(cause error, notifyPeers bool) {
 	w.closeMu.Lock()
 	if w.closed.Load() {
 		w.closeMu.Unlock()
@@ -219,6 +270,9 @@ func (w *World) Close(cause error) {
 	w.closed.Store(true)
 	w.closeMu.Unlock()
 	for _, mb := range w.boxes {
+		if mb == nil {
+			continue
+		}
 		mb.mu.Lock()
 		mb.closed = true
 		for _, q := range mb.tags {
@@ -231,7 +285,25 @@ func (w *World) Close(cause error) {
 		mb.cond.Broadcast()
 		mb.mu.Unlock()
 	}
-	w.barrier.close()
+	if w.barrier != nil {
+		w.barrier.close()
+	}
+	if w.cb != nil {
+		w.cb.close()
+	}
+	if w.closedCh != nil {
+		close(w.closedCh)
+	}
+	if notifyPeers && w.MultiProcess() {
+		rank := int32(-1)
+		text := cause.Error()
+		var re *RankError
+		if errors.As(cause, &re) {
+			rank = int32(re.Rank)
+			text = re.Err.Error()
+		}
+		w.cl.tcp.broadcastCtrl(frame{kind: frameWorldClose, epoch: w.epoch, rank: rank, cause: text})
+	}
 }
 
 // Err returns an error matching ErrWorldClosed (wrapping the teardown
@@ -274,7 +346,14 @@ func (w *World) RunCtx(ctx context.Context, fn func(c *Comm) error) error {
 	}
 	var wg sync.WaitGroup
 	errs := make([]error, w.n)
-	for r := 0; r < w.n; r++ {
+	// A wire world hosts a single rank here; its peers run fn in their own
+	// processes under the SPMD contract. In-process worlds spawn them all.
+	lo, hi := 0, w.n
+	if w.MultiProcess() {
+		lo = w.cl.rank
+		hi = lo + 1
+	}
+	for r := lo; r < hi; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
@@ -331,27 +410,38 @@ func (c *Comm) World() *World { return c.world }
 // without blocking.
 func (c *Comm) Err() error { return c.world.Err() }
 
-// send enqueues m at rank to's mailbox and accounts wire bytes on success.
+// send routes m to rank `to` — straight into the local mailbox when the
+// rank lives here (the zero-copy path, untouched), through the cluster
+// transport otherwise — and accounts wire bytes on success: the
+// serialized-equivalent size in-process, the real frame size on a wire.
 // On error the payload is NOT consumed: ownership stays with the caller,
 // which must release pooled buffers itself.
 func (c *Comm) send(to, tag int, m message, wire int) error {
 	if to < 0 || to >= c.world.n {
 		return fmt.Errorf("%w: send to rank %d of %d", ErrInvalidRank, to, c.world.n)
 	}
-	mb := c.world.boxes[to]
-	mb.mu.Lock()
-	if mb.closed {
+	if !c.world.rankIsLocal(to) {
+		nw, err := c.world.cl.tcp.sendMessage(c.world, to, m)
+		if err != nil {
+			return err
+		}
+		wire = nw
+	} else {
+		mb := c.world.boxes[to]
+		mb.mu.Lock()
+		if mb.closed {
+			mb.mu.Unlock()
+			return c.world.Err()
+		}
+		q := mb.tags[tag]
+		if q == nil {
+			q = &msgQueue{}
+			mb.tags[tag] = q
+		}
+		q.push(m)
+		mb.cond.Broadcast()
 		mb.mu.Unlock()
-		return c.world.Err()
 	}
-	q := mb.tags[tag]
-	if q == nil {
-		q = &msgQueue{}
-		mb.tags[tag] = q
-	}
-	q.push(m)
-	mb.cond.Broadcast()
-	mb.mu.Unlock()
 	st := c.world.stats
 	st.Messages.Add(1)
 	st.Bytes.Add(int64(wire))
@@ -360,6 +450,35 @@ func (c *Comm) send(to, tag int, m message, wire int) error {
 			trace.I("to", to), trace.I("tag", tag), trace.I("bytes", wire))
 	}
 	return nil
+}
+
+// deliverRemote enqueues a message that arrived over the wire into the
+// locally hosted rank's mailbox. Messages for a closed (or non-local)
+// destination are dropped with their pooled payloads released, exactly as
+// Close does for queued messages.
+func (w *World) deliverRemote(to int, m message) {
+	var mb *mailbox
+	if to >= 0 && to < len(w.boxes) {
+		mb = w.boxes[to]
+	}
+	if mb == nil {
+		releasePayload(&m)
+		return
+	}
+	mb.mu.Lock()
+	if mb.closed {
+		mb.mu.Unlock()
+		releasePayload(&m)
+		return
+	}
+	q := mb.tags[m.tag]
+	if q == nil {
+		q = &msgQueue{}
+		mb.tags[m.tag] = q
+	}
+	q.push(m)
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
 }
 
 // Send delivers data to rank `to` with the given tag. Like MPI's eager
@@ -469,8 +588,13 @@ func (c *Comm) TryRecvRef(from, tag int) (ref any, srcRank, srcTag int, ok bool)
 }
 
 // Barrier blocks until every rank has entered it, or returns an error
-// matching ErrWorldClosed if the world is torn down while waiting.
+// matching ErrWorldClosed if the world is torn down while waiting. Wire
+// worlds coordinate through rank 0's process; in-process worlds use the
+// shared-memory barrier.
 func (c *Comm) Barrier() error {
+	if c.world.cb != nil {
+		return c.world.cb.await()
+	}
 	if !c.world.barrier.await() {
 		return c.world.Err()
 	}
@@ -494,23 +618,6 @@ func (c *Comm) Gather(ctx context.Context, root, tag int, data []byte) ([][]byte
 		out[src] = d
 	}
 	return out, nil
-}
-
-// Bcast sends data from the root to every other rank; all ranks return the
-// payload. Non-root waits honor ctx.
-func (c *Comm) Bcast(ctx context.Context, root, tag int, data []byte) ([]byte, error) {
-	if c.rank == root {
-		for r := 0; r < c.world.n; r++ {
-			if r != root {
-				if err := c.Send(r, tag, data); err != nil {
-					return nil, err
-				}
-			}
-		}
-		return data, nil
-	}
-	d, _, _, err := c.Recv(ctx, root, tag)
-	return d, err
 }
 
 // barrier is a reusable n-party barrier.
@@ -560,36 +667,119 @@ func (b *barrier) await() bool {
 // Window is a one-sided RMA window: an array of float64 slots hosted on a
 // root rank, accessed with Put and Get from any rank. The paper stores
 // per-process work-load estimates in such a window on the root and updates
-// them from each rank's communicator thread.
+// them from each rank's communicator thread. Over a wire transport the
+// authoritative copy lives in rank 0's process: Put and Add from workers
+// are fire-and-forget control frames; Get is a request/reply round trip
+// that returns nil after teardown (pollers notice the cause via Err).
 type Window struct {
 	world *World
+	idx   int  // position in the world's window list (wire addressing)
+	host  bool // authoritative copy lives in this process
 	mu    sync.Mutex
 	data  []float64
 }
 
-// NewWindow allocates a window with one slot per rank, hosted conceptually
-// on the root (host placement only affects the performance model, not the
-// semantics here).
+// NewWindow allocates a window with `slots` float64 slots, hosted on rank
+// 0's process. Under the SPMD contract every process creates the same
+// windows in the same order; wire ops that raced ahead of this creation
+// are parked on the world and applied here.
 func (w *World) NewWindow(slots int) *Window {
-	win := &Window{world: w, data: make([]float64, slots)}
+	win := &Window{
+		world: w,
+		host:  !w.MultiProcess() || w.cl.rank == 0,
+		data:  make([]float64, slots),
+	}
 	w.windows.mu.Lock()
+	win.idx = len(w.windows.list)
 	w.windows.list = append(w.windows.list, win)
+	var ready []pendItem
+	if len(w.windows.pending) > 0 {
+		rest := w.windows.pending[:0]
+		for _, it := range w.windows.pending {
+			if it.win == win.idx {
+				ready = append(ready, it)
+			} else {
+				rest = append(rest, it)
+			}
+		}
+		w.windows.pending = rest
+	}
 	w.windows.mu.Unlock()
+	for _, it := range ready {
+		w.cl.tcp.apply(w, it)
+	}
 	return win
+}
+
+// windowAt resolves a wire op's window index, or parks the op until the
+// local NewWindow call catches up.
+func (w *World) windowAt(it pendItem) *Window {
+	w.windows.mu.Lock()
+	defer w.windows.mu.Unlock()
+	if it.win < len(w.windows.list) {
+		return w.windows.list[it.win]
+	}
+	if !w.closed.Load() {
+		w.windows.pending = append(w.windows.pending, it)
+	}
+	return nil
+}
+
+// applyWinStore applies a remote Put (accumulate=false) or Add to the
+// hosted copy.
+func (w *World) applyWinStore(it pendItem, accumulate bool) {
+	win := w.windowAt(it)
+	if win == nil || it.slot >= len(win.data) {
+		return
+	}
+	win.mu.Lock()
+	if accumulate {
+		win.data[it.slot] += it.val
+	} else {
+		win.data[it.slot] = it.val
+	}
+	win.mu.Unlock()
+}
+
+// applyWinGet answers a remote snapshot request from the hosted copy.
+func (w *World) applyWinGet(it pendItem) {
+	win := w.windowAt(it)
+	if win == nil {
+		return
+	}
+	win.mu.Lock()
+	vals := make([]float64, len(win.data))
+	copy(vals, win.data)
+	win.mu.Unlock()
+	_, _ = w.cl.tcp.sendCtrl(it.rank, frame{kind: frameWinGetReply, epoch: w.epoch, req: it.req, vals: vals})
 }
 
 // Put stores val into slot idx (MPI_Put).
 func (win *Window) Put(idx int, val float64) {
 	win.world.stats.Puts.Add(1)
+	if !win.host {
+		wire, _ := win.world.cl.tcp.sendCtrl(0, frame{
+			kind: frameWinPut, epoch: win.world.epoch,
+			win: int32(win.idx), slot: int32(idx), val: val,
+		})
+		win.world.stats.Bytes.Add(int64(wire))
+		return
+	}
 	win.world.stats.Bytes.Add(8)
 	win.mu.Lock()
 	win.data[idx] = val
 	win.mu.Unlock()
 }
 
-// Get returns a snapshot of all slots (MPI_Get of the whole window).
+// Get returns a snapshot of all slots (MPI_Get of the whole window), or
+// nil when a wire world was torn down before the reply arrived.
 func (win *Window) Get() []float64 {
 	win.world.stats.Gets.Add(1)
+	if !win.host {
+		vals, wire := win.world.cl.tcp.winGet(win.world, win.idx)
+		win.world.stats.Bytes.Add(int64(wire + 8*len(vals)))
+		return vals
+	}
 	win.world.stats.Bytes.Add(int64(8 * len(win.data)))
 	win.mu.Lock()
 	out := make([]float64, len(win.data))
@@ -601,6 +791,14 @@ func (win *Window) Get() []float64 {
 // Add atomically accumulates into a slot (MPI_Accumulate with MPI_SUM).
 func (win *Window) Add(idx int, delta float64) {
 	win.world.stats.Puts.Add(1)
+	if !win.host {
+		wire, _ := win.world.cl.tcp.sendCtrl(0, frame{
+			kind: frameWinAdd, epoch: win.world.epoch,
+			win: int32(win.idx), slot: int32(idx), val: delta,
+		})
+		win.world.stats.Bytes.Add(int64(wire))
+		return
+	}
 	win.world.stats.Bytes.Add(8)
 	win.mu.Lock()
 	win.data[idx] += delta
