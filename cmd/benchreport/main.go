@@ -39,12 +39,26 @@ import (
 )
 
 // benchResult is one benchmark's measured cost, the same triple `go test
-// -bench -benchmem` prints.
+// -bench -benchmem` prints, plus the Delaunay kernel worker count the run
+// used. Recording the worker count per result keeps comparisons honest:
+// the guard only ever compares measurements taken with the same kernel
+// parallelism (entries written before the field existed are sequential,
+// so a missing/zero value normalizes to 1).
 type benchResult struct {
-	Iterations  int   `json:"iterations"`
-	NsPerOp     int64 `json:"ns_per_op"`
-	BytesPerOp  int64 `json:"bytes_per_op"`
-	AllocsPerOp int64 `json:"allocs_per_op"`
+	Iterations    int   `json:"iterations"`
+	NsPerOp       int64 `json:"ns_per_op"`
+	BytesPerOp    int64 `json:"bytes_per_op"`
+	AllocsPerOp   int64 `json:"allocs_per_op"`
+	KernelWorkers int   `json:"kernel_workers,omitempty"`
+}
+
+// kwOf returns a result's kernel worker count with the pre-field entries
+// (which all measured the sequential kernel) normalized to 1.
+func kwOf(r benchResult) int {
+	if r.KernelWorkers < 1 {
+		return 1
+	}
+	return r.KernelWorkers
 }
 
 // entry is one labeled measurement of the whole suite.
@@ -104,7 +118,20 @@ func run(ctx context.Context, args []string) error {
 	for _, ranks := range []int{1, 2, 4} {
 		name := fmt.Sprintf("PushButton/%d-ranks", ranks)
 		fmt.Fprintf(os.Stderr, "running %s...\n", name)
-		r, err := runPushButton(ctx, ranks, false, false, *benchtime)
+		r, err := runPushButton(ctx, ranks, 1, false, false, *benchtime)
+		if err != nil {
+			return err
+		}
+		e.Benchmarks[name] = r
+	}
+	// The -kwN runs turn on the intra-rank parallel Delaunay kernel inside
+	// the single-rank pipeline. Their speedup is only meaningful when
+	// GOMAXPROCS > 1 (the entry records it), and the per-result worker
+	// count keeps them out of the sequential entries' comparisons.
+	for _, kw := range []int{2, 4} {
+		name := fmt.Sprintf("PushButton/1-ranks-kw%d", kw)
+		fmt.Fprintf(os.Stderr, "running %s...\n", name)
+		r, err := runPushButton(ctx, 1, kw, false, false, *benchtime)
 		if err != nil {
 			return err
 		}
@@ -114,7 +141,7 @@ func run(ctx context.Context, args []string) error {
 	// PushButton/1-ranks plus the invariant-audit stage. The allocation
 	// guard stays on the unaudited single-rank entry.
 	fmt.Fprintln(os.Stderr, "running PushButton/1-ranks-audit...")
-	ra, err := runPushButton(ctx, 1, true, false, *benchtime)
+	ra, err := runPushButton(ctx, 1, 1, true, false, *benchtime)
 	if err != nil {
 		return err
 	}
@@ -125,7 +152,7 @@ func run(ctx context.Context, args []string) error {
 	// guard itself stays on the untraced entry, which is what proves the
 	// disabled tracer allocation-neutral.
 	fmt.Fprintln(os.Stderr, "running PushButton/1-ranks-traced...")
-	rt, err := runPushButton(ctx, 1, false, true, *benchtime)
+	rt, err := runPushButton(ctx, 1, 1, false, true, *benchtime)
 	if err != nil {
 		return err
 	}
@@ -181,17 +208,23 @@ func run(ctx context.Context, args []string) error {
 const guardBench = "PushButton/1-ranks"
 
 // checkGuard compares the fresh measurement of guardBench against the most
-// recent prior entry that recorded it. Wall time is too noisy to gate on,
-// but allocation counts are near-deterministic, so the guard fails when
-// bytes/op or allocs/op grow by more than 10% plus a small absolute slack.
+// recent prior entry that recorded it under comparable conditions: same
+// GOMAXPROCS and the same kernel worker count (a kw4 run must never gate
+// against a kw1 baseline, nor a multi-core run against a single-core one).
+// Wall time is too noisy to gate on, but allocation counts are
+// near-deterministic, so the guard fails when bytes/op or allocs/op grow
+// by more than 10% plus a small absolute slack.
 func checkGuard(rep *report, e entry) error {
 	cur, ok := e.Benchmarks[guardBench]
 	if !ok {
 		return fmt.Errorf("guard: entry has no %s measurement", guardBench)
 	}
 	for i := len(rep.Entries) - 1; i >= 0; i-- {
+		if rep.Entries[i].GOMAXPROCS != e.GOMAXPROCS {
+			continue
+		}
 		prev, ok := rep.Entries[i].Benchmarks[guardBench]
-		if !ok {
+		if !ok || kwOf(prev) != kwOf(cur) {
 			continue
 		}
 		label := rep.Entries[i].Label
@@ -205,7 +238,8 @@ func checkGuard(rep *report, e entry) error {
 			guardBench, label, cur.BytesPerOp, cur.AllocsPerOp)
 		return nil
 	}
-	return fmt.Errorf("guard: no prior %s entry to compare against", guardBench)
+	return fmt.Errorf("guard: no prior %s entry at GOMAXPROCS=%d kw%d to compare against",
+		guardBench, e.GOMAXPROCS, kwOf(cur))
 }
 
 func neutral(label, what string, prev, cur int64) error {
@@ -219,13 +253,16 @@ func neutral(label, what string, prev, cur int64) error {
 
 // runPushButton measures the full pipeline at the given rank count on the
 // shared scaled-down configuration (identical to BenchmarkPushButton; with
-// audit set, to BenchmarkPushButtonAudited). With traced set, every
-// iteration runs under a fresh span tracer so the measurement includes the
-// recorder's full cost (buffer growth included). A canceled ctx aborts
-// between (and, via the stage engine, inside) iterations.
-func runPushButton(ctx context.Context, ranks int, audit, traced bool, benchtime time.Duration) (benchResult, error) {
+// audit set, to BenchmarkPushButtonAudited). kw is the Delaunay kernel
+// worker count, recorded in the result so the guard compares like with
+// like. With traced set, every iteration runs under a fresh span tracer so
+// the measurement includes the recorder's full cost (buffer growth
+// included). A canceled ctx aborts between (and, via the stage engine,
+// inside) iterations.
+func runPushButton(ctx context.Context, ranks, kw int, audit, traced bool, benchtime time.Duration) (benchResult, error) {
 	cfg := benchcfg.PushButton()
 	cfg.Ranks = ranks
+	cfg.KernelWorkers = kw
 	cfg.Audit = audit
 	var genErr error
 	r := bench(benchtime, func(b *testing.B) {
@@ -240,7 +277,9 @@ func runPushButton(ctx context.Context, ranks int, audit, traced bool, benchtime
 			}
 		}
 	})
-	return toResult(r), genErr
+	res := toResult(r)
+	res.KernelWorkers = kw
+	return res, genErr
 }
 
 // runPushButtonTCP measures the full pipeline over a loopback TCP fabric

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"strconv"
 
 	"pamg2d/internal/blayer"
@@ -50,6 +51,12 @@ func GenerateContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	if cfg.SubdomainsPerRank < 1 {
 		cfg.SubdomainsPerRank = 4
+	}
+	if cfg.KernelWorkers == 0 {
+		cfg.KernelWorkers = runtime.NumCPU()
+	}
+	if cfg.KernelWorkers < 1 {
+		cfg.KernelWorkers = 1
 	}
 	if cfg.NearBodyMargin <= 0 {
 		cfg.NearBodyMargin = 0.25
@@ -99,6 +106,13 @@ func foldMetrics(m *trace.Metrics, st *Stats) {
 	// tasks.total counts distributed task executions (audit jobs included),
 	// so it always equals the sum of the tasks.rank.N counters.
 	m.Count("tasks.total", totalTasks)
+	if st.Kernel.Workers > 0 {
+		m.Gauge("kernel.workers", float64(st.Kernel.Workers))
+		m.Count("kernel.rounds", int64(st.Kernel.Rounds))
+		m.Count("kernel.inserted", int64(st.Kernel.Inserted))
+		m.Count("kernel.conflicts", int64(st.Kernel.Conflicts))
+		m.Count("kernel.sequential", int64(st.Kernel.Sequential))
+	}
 	m.Count("steals.requests", int64(st.Steals.Requests))
 	m.Count("steals.granted", int64(st.Steals.Granted))
 	m.Count("steals.gotten", int64(st.Steals.Gotten))

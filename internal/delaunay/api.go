@@ -2,7 +2,6 @@ package delaunay
 
 import (
 	"fmt"
-	"slices"
 
 	"pamg2d/internal/geom"
 )
@@ -112,34 +111,9 @@ func Build(in Input) (*Triangulation, error) {
 	t := NewCap(bb, len(in.Points))
 
 	// Insert points in spatially coherent order: either the caller's
-	// x-sorted order, or sorted here. Sorted insertion makes the
-	// walk-from-last point location near O(1) per insert.
-	order := make([]int, len(in.Points))
-	for i := range order {
-		order[i] = i
-	}
-	if !in.Sorted {
-		pts := in.Points
-		slices.SortFunc(order, func(i, j int) int {
-			a, b := pts[i], pts[j]
-			switch {
-			case a.X < b.X:
-				return -1
-			case a.X > b.X:
-				return 1
-			case a.Y < b.Y:
-				return -1
-			case a.Y > b.Y:
-				return 1
-			}
-			return 0
-		})
-		// Without caller-provided spatial coherence, refinement and segment
-		// recovery issue scattered locate queries; the bin seed bounds those
-		// walks (BRIO-style) without perturbing the deterministic insertion
-		// order.
-		t.EnableBinSeeding(geom.BBoxOf(in.Points), len(in.Points))
-	}
+	// x-sorted order, or sorted by insertionOrder (which also enables the
+	// bin seed for the scattered queries that follow).
+	order := insertionOrder(in, t)
 	// vmap maps input point indices to triangulation vertex indices
 	// (offset by the four frame corners, or aliased for duplicates).
 	vmap := make([]int32, len(in.Points))

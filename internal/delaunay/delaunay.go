@@ -57,18 +57,12 @@ type Triangulation struct {
 	// carved reports that Carve ran; refinement requires it.
 	carved bool
 
-	// cavityTris and cavityEdges are scratch buffers reused across
-	// insertions to avoid per-insert allocation.
-	cavityTris  []int32
-	cavityEdges []cavityEdge
-
-	// stack is the cavity breadth-first search worklist, reused across
-	// insertions like the cavity buffers above.
-	stack []int32
-
-	// fanOpen is commitCavity's scratch list of fan-triangle edges still
-	// waiting for their sibling, reused across insertions.
-	fanOpen []fanEdge
+	// scratch is the sequential insertion path's cavity-search state,
+	// reused across insertions to avoid per-insert allocation. The
+	// concurrent engine (parallel.go) shards this state instead: each
+	// pending point carries its own cavScratch so cavity searches from
+	// multiple workers never share buffers.
+	scratch cavScratch
 
 	// starMark/starStack/starEpoch are the star-traversal scratch shared by
 	// visitStar and firstCrossing (never active at the same time): a
@@ -106,6 +100,18 @@ type cavityEdge struct {
 	te      int32 // edge index within t matching (b,a)
 	c       bool  // constrained flag carried over from the removed triangle
 	outside bool  // carved-exterior flag of the removed triangle
+}
+
+// cavScratch is one insertion's cavity-search scratch: the cavity triangle
+// list, its directed boundary edges, the breadth-first search worklist,
+// and commit's open fan-edge list. The triangulation owns one for the
+// sequential path; the concurrent engine keeps one per pending point so
+// cavity searches and commits run without shared buffers.
+type cavScratch struct {
+	cavityTris  []int32
+	cavityEdges []cavityEdge
+	stack       []int32
+	fanOpen     []fanEdge
 }
 
 // ErrDuplicate is returned by InsertPoint for a point that coincides with
@@ -278,26 +284,38 @@ func (t *Triangulation) digCavity(v int32, loc location) {
 	t.commitCavity(v)
 }
 
-// computeCavity fills cavityTris and cavityEdges for inserting point p at
-// location loc, without mutating the triangulation.
+// computeCavity fills the sequential scratch's cavityTris and cavityEdges
+// for inserting point p at location loc, without mutating the
+// triangulation.
 func (t *Triangulation) computeCavity(p geom.Point, loc location) {
-	t.cavityTris = t.cavityTris[:0]
-	t.cavityEdges = t.cavityEdges[:0]
+	t.computeCavityInto(p, loc, &t.scratch)
+}
+
+// computeCavityInto is computeCavity writing into the given scratch. It
+// only reads the triangulation, so concurrent cavity searches with private
+// scratches can share one topology snapshot.
+func (t *Triangulation) computeCavityInto(p geom.Point, loc location, s *cavScratch) {
+	s.cavityTris = s.cavityTris[:0]
+	s.cavityEdges = s.cavityEdges[:0]
+
+	inCavity := func(ti int32) bool {
+		for _, c := range s.cavityTris {
+			if c == ti {
+				return true
+			}
+		}
+		return false
+	}
 
 	// Seed triangles: the containing triangle, or both triangles sharing
 	// the containing edge.
-	t.stack = t.stack[:0]
+	s.stack = s.stack[:0]
 	push := func(ti int32) {
-		if ti == invalid || t.tris[ti].Dead {
+		if ti == invalid || t.tris[ti].Dead || inCavity(ti) {
 			return
 		}
-		for _, c := range t.cavityTris {
-			if c == ti {
-				return
-			}
-		}
-		t.cavityTris = append(t.cavityTris, ti)
-		t.stack = append(t.stack, ti)
+		s.cavityTris = append(s.cavityTris, ti)
+		s.stack = append(s.stack, ti)
 	}
 	push(loc.t)
 	if loc.kind == locEdge {
@@ -310,9 +328,9 @@ func (t *Triangulation) computeCavity(p geom.Point, loc location) {
 		}
 	}
 
-	for len(t.stack) > 0 {
-		ti := t.stack[len(t.stack)-1]
-		t.stack = t.stack[:len(t.stack)-1]
+	for len(s.stack) > 0 {
+		ti := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
 		tr := t.tris[ti]
 		for e := int32(0); e < 3; e++ {
 			nb := tr.N[e]
@@ -322,23 +340,23 @@ func (t *Triangulation) computeCavity(p geom.Point, loc location) {
 			if nb == invalid || t.tris[nb].Dead {
 				continue
 			}
-			if t.inCavityList(nb) {
+			if inCavity(nb) {
 				continue
 			}
 			ntr := t.tris[nb]
 			if geom.InCircle(t.pts[ntr.V[0]], t.pts[ntr.V[1]], t.pts[ntr.V[2]], p) > 0 {
-				t.cavityTris = append(t.cavityTris, nb)
-				t.stack = append(t.stack, nb)
+				s.cavityTris = append(s.cavityTris, nb)
+				s.stack = append(s.stack, nb)
 			}
 		}
 	}
 
 	// Collect the directed boundary edges of the cavity.
-	for _, ti := range t.cavityTris {
+	for _, ti := range s.cavityTris {
 		tr := t.tris[ti]
 		for e := int32(0); e < 3; e++ {
 			nb := tr.N[e]
-			if nb != invalid && !t.tris[nb].Dead && t.inCavityList(nb) && !tr.C[e] {
+			if nb != invalid && !t.tris[nb].Dead && inCavity(nb) && !tr.C[e] {
 				continue // interior cavity edge
 			}
 			a := tr.V[e]
@@ -347,7 +365,7 @@ func (t *Triangulation) computeCavity(p geom.Point, loc location) {
 			if nb != invalid {
 				te = t.edgeIndex(nb, b, a)
 			}
-			t.cavityEdges = append(t.cavityEdges, cavityEdge{a: a, b: b, t: nb, te: te, c: tr.C[e], outside: tr.Outside})
+			s.cavityEdges = append(s.cavityEdges, cavityEdge{a: a, b: b, t: nb, te: te, c: tr.C[e], outside: tr.Outside})
 		}
 	}
 }
@@ -355,7 +373,7 @@ func (t *Triangulation) computeCavity(p geom.Point, loc location) {
 // commitCavity removes the triangles found by computeCavity and fans
 // vertex v to the cavity boundary.
 func (t *Triangulation) commitCavity(v int32) {
-	for _, ti := range t.cavityTris {
+	for _, ti := range t.scratch.cavityTris {
 		t.killTri(ti)
 	}
 
@@ -364,7 +382,7 @@ func (t *Triangulation) commitCavity(v int32) {
 	// exactly two fan triangles, so a small open-edge list with linear
 	// matching replaces a per-insert map: cavities are tiny (a handful of
 	// edges), making the scan cheaper than hashing and allocation-free.
-	open := t.fanOpen[:0]
+	open := t.scratch.fanOpen[:0]
 	match := func(other int32, fromV bool) (fanEdge, bool) {
 		for i := range open {
 			if open[i].other == other && open[i].fromV == fromV {
@@ -376,7 +394,7 @@ func (t *Triangulation) commitCavity(v int32) {
 		}
 		return fanEdge{}, false
 	}
-	for _, ce := range t.cavityEdges {
+	for _, ce := range t.scratch.cavityEdges {
 		nt := t.addTri(v, ce.a, ce.b)
 		// Each fan triangle lies on the same side of any constraint as the
 		// removed triangle that contributed its boundary edge, so it
@@ -398,16 +416,7 @@ func (t *Triangulation) commitCavity(v int32) {
 			open = append(open, fanEdge{other: ce.b, tri: nt, e: 2, fromV: false})
 		}
 	}
-	t.fanOpen = open[:0]
-}
-
-func (t *Triangulation) inCavityList(ti int32) bool {
-	for _, c := range t.cavityTris {
-		if c == ti {
-			return true
-		}
-	}
-	return false
+	t.scratch.fanOpen = open[:0]
 }
 
 // locKind classifies a point-location result.
@@ -430,9 +439,20 @@ type location struct {
 // locate finds the triangle containing p by straight walking from the last
 // visited triangle (or, with bin seeding enabled, from the nearest of the
 // last triangle and the query cell's remembered vertex), using exact
-// orientation tests.
+// orientation tests. The found triangle seeds the next walk.
 func (t *Triangulation) locate(p geom.Point) location {
-	ti := t.last
+	loc := t.locateFrom(t.last, p)
+	if loc.kind != locOutside && loc.t != invalid {
+		t.last = loc.t
+	}
+	return loc
+}
+
+// locateFrom is locate's read-only walk: it starts from the given seed
+// triangle and never mutates the triangulation, so concurrent locators
+// holding private seeds can share one topology snapshot.
+func (t *Triangulation) locateFrom(seed int32, p geom.Point) location {
+	ti := seed
 	if ti == invalid || int(ti) >= len(t.tris) || t.tris[ti].Dead {
 		ti = t.anyLive()
 		if ti == invalid {
@@ -473,7 +493,6 @@ func (t *Triangulation) locate(p geom.Point) location {
 		if walked {
 			continue
 		}
-		t.last = ti
 		if onEdge >= 0 {
 			tr := t.tris[ti]
 			a := tr.V[onEdge]
@@ -515,7 +534,6 @@ func (t *Triangulation) locateExhaustive(p geom.Point) location {
 			continue
 		}
 		ti := int32(i)
-		t.last = ti
 		if onEdge >= 0 {
 			a := tr.V[onEdge]
 			b := tr.V[(onEdge+1)%3]

@@ -360,7 +360,7 @@ func (t *Triangulation) insertCircumcenter(cc geom.Point, minLen float64) (int32
 	}
 	t.computeCavity(cc, loc)
 	var enc [][2]int32
-	for _, ce := range t.cavityEdges {
+	for _, ce := range t.scratch.cavityEdges {
 		if ce.c && geom.InDiametralCircle(cc, geom.Segment{A: t.pts[ce.a], B: t.pts[ce.b]}) {
 			enc = append(enc, [2]int32{ce.a, ce.b})
 		}

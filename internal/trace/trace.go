@@ -36,12 +36,13 @@ const RootRank = -1
 // idle waits) on the "mesher" thread, communication (steal protocol, MPI
 // sends) on the "comm" thread.
 const (
-	CatStage = "stage"
-	CatTask  = "task"
-	CatAudit = "audit"
-	CatIdle  = "idle"
-	CatSteal = "steal"
-	CatMPI   = "mpi"
+	CatStage  = "stage"
+	CatTask   = "task"
+	CatAudit  = "audit"
+	CatIdle   = "idle"
+	CatSteal  = "steal"
+	CatMPI    = "mpi"
+	CatKernel = "kernel" // intra-rank parallel Delaunay insertion workers
 )
 
 // Arg is one numeric key/value attached to an event (task cost, bytes on
