@@ -50,6 +50,12 @@ type benchResult struct {
 	BytesPerOp    int64 `json:"bytes_per_op"`
 	AllocsPerOp   int64 `json:"allocs_per_op"`
 	KernelWorkers int   `json:"kernel_workers,omitempty"`
+	// Service-load columns, present only on Meshd/load entries ingested
+	// from a meshload summary (-load): requests per second through a live
+	// meshd plus the client-observed latency percentiles.
+	ThroughputRPS float64 `json:"throughput_rps,omitempty"`
+	P50Ms         float64 `json:"p50_ms,omitempty"`
+	P99Ms         float64 `json:"p99_ms,omitempty"`
 }
 
 // kwOf returns a result's kernel worker count with the pre-field entries
@@ -90,6 +96,9 @@ func run(ctx context.Context, args []string) error {
 	out := fs.String("o", "", "trajectory file (default BENCH_<today>.json)")
 	benchtime := fs.Duration("benchtime", time.Second, "minimum run time per benchmark")
 	guard := fs.Bool("guard", false, "fail if PushButton/1-ranks allocations regress vs the file's last entry")
+	loadPath := fs.String("load", "", "ingest a meshload summary JSON as the Meshd/load throughput/latency column")
+	loadOnly := fs.Bool("load-only", false, "with -load: skip the benchmark suite and record only the Meshd/load column")
+	loadGuard := fs.Bool("load-guard", false, "fail if Meshd/load throughput or p99 regress vs the file's last comparable entry")
 	timeout := fs.Duration("timeout", 0, "abort the whole report after this duration (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -113,6 +122,20 @@ func run(ctx context.Context, args []string) error {
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Benchmarks: map[string]benchResult{},
+	}
+
+	if *loadOnly && *loadPath == "" {
+		return errors.New("-load-only requires -load")
+	}
+	if *loadPath != "" {
+		lr, err := ingestLoad(*loadPath)
+		if err != nil {
+			return err
+		}
+		e.Benchmarks["Meshd/load"] = lr
+	}
+	if *loadOnly {
+		return finish(path, e, *guard, *loadGuard)
 	}
 
 	for _, ranks := range []int{1, 2, 4} {
@@ -175,6 +198,14 @@ func run(ctx context.Context, args []string) error {
 	}
 	e.Benchmarks["Fig08Decompose128"] = r
 
+	return finish(path, e, *guard, *loadGuard)
+}
+
+// finish loads the trajectory file, runs the requested guards against its
+// prior entries, appends the fresh entry, rewrites the file, and prints
+// the measurement table. Guard failures surface after the entry is
+// persisted, so the regressing measurement is on record either way.
+func finish(path string, e entry, guard, loadGuard bool) error {
 	rep := report{}
 	if data, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(data, &rep); err != nil {
@@ -184,8 +215,11 @@ func run(ctx context.Context, args []string) error {
 		return err
 	}
 	guardErr := error(nil)
-	if *guard {
+	if guard {
 		guardErr = checkGuard(&rep, e)
+	}
+	if loadGuard && guardErr == nil {
+		guardErr = checkLoadGuard(&rep, e)
 	}
 	rep.Entries = append(rep.Entries, e)
 	data, err := json.MarshalIndent(&rep, "", "  ")
@@ -195,12 +229,92 @@ func run(ctx context.Context, args []string) error {
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "appended entry %q to %s\n", *label, path)
+	fmt.Fprintf(os.Stderr, "appended entry %q to %s\n", e.Label, path)
 	for name, br := range e.Benchmarks {
+		if br.ThroughputRPS > 0 {
+			fmt.Printf("%-24s %10.2f req/s %8.1f p50 ms %8.1f p99 ms\n",
+				name, br.ThroughputRPS, br.P50Ms, br.P99Ms)
+			continue
+		}
 		fmt.Printf("%-24s %12d ns/op %12d B/op %8d allocs/op\n",
 			name, br.NsPerOp, br.BytesPerOp, br.AllocsPerOp)
 	}
 	return guardErr
+}
+
+// loadBench is the service-load column's benchmark name and the target of
+// the -load-guard regression gate.
+const loadBench = "Meshd/load"
+
+// ingestLoad reads a meshload summary JSON (cmd/meshload -save) and
+// converts it into the Meshd/load column: p50 doubles as the ns/op figure
+// so trajectory tooling that only understands ns/op still sorts it
+// sensibly.
+func ingestLoad(path string) (benchResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return benchResult{}, err
+	}
+	var s struct {
+		Requests      int     `json:"requests"`
+		Errors        int     `json:"errors"`
+		ThroughputRPS float64 `json:"throughput_rps"`
+		P50Ms         float64 `json:"p50_ms"`
+		P99Ms         float64 `json:"p99_ms"`
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return benchResult{}, fmt.Errorf("parse meshload summary %s: %w", path, err)
+	}
+	if s.Requests == 0 || s.ThroughputRPS <= 0 {
+		return benchResult{}, fmt.Errorf("meshload summary %s records no completed requests", path)
+	}
+	if s.Errors > 0 {
+		return benchResult{}, fmt.Errorf("meshload summary %s has %d failed requests", path, s.Errors)
+	}
+	return benchResult{
+		Iterations:    s.Requests,
+		NsPerOp:       int64(s.P50Ms * 1e6),
+		ThroughputRPS: s.ThroughputRPS,
+		P50Ms:         s.P50Ms,
+		P99Ms:         s.P99Ms,
+	}, nil
+}
+
+// checkLoadGuard gates the Meshd/load column against the most recent
+// prior entry that recorded it at the same GOMAXPROCS. Service latency in
+// shared CI is far noisier than allocation counts, so the slacks are
+// generous: throughput may drop up to 25%, p99 may grow up to 50% plus
+// 20ms, before the guard fails. No prior entry is a warn-pass, so the
+// first recorded load run seeds the trajectory without failing.
+func checkLoadGuard(rep *report, e entry) error {
+	cur, ok := e.Benchmarks[loadBench]
+	if !ok {
+		return fmt.Errorf("load-guard: entry has no %s measurement (run with -load)", loadBench)
+	}
+	for i := len(rep.Entries) - 1; i >= 0; i-- {
+		if rep.Entries[i].GOMAXPROCS != e.GOMAXPROCS {
+			continue
+		}
+		prev, ok := rep.Entries[i].Benchmarks[loadBench]
+		if !ok || prev.ThroughputRPS <= 0 {
+			continue
+		}
+		label := rep.Entries[i].Label
+		if floor := prev.ThroughputRPS * 0.75; cur.ThroughputRPS < floor {
+			return fmt.Errorf("load-guard: throughput regressed vs %q: %.2f -> %.2f req/s (floor %.2f)",
+				label, prev.ThroughputRPS, cur.ThroughputRPS, floor)
+		}
+		if limit := prev.P99Ms*1.5 + 20; cur.P99Ms > limit {
+			return fmt.Errorf("load-guard: p99 regressed vs %q: %.1f -> %.1f ms (limit %.1f)",
+				label, prev.P99Ms, cur.P99Ms, limit)
+		}
+		fmt.Fprintf(os.Stderr, "load-guard: %s within bounds vs %q (%.2f req/s, p99 %.1f ms)\n",
+			loadBench, label, cur.ThroughputRPS, cur.P99Ms)
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "load-guard: no prior %s entry at GOMAXPROCS=%d — recording baseline\n",
+		loadBench, e.GOMAXPROCS)
+	return nil
 }
 
 // guardBench is the benchmark the allocation-neutrality guard watches: the

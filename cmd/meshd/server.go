@@ -1,0 +1,475 @@
+package main
+
+// The meshd server: HTTP/JSON mesh generation over one shared core.Engine.
+// Every request is a core run borrowing the engine's fabric and kernel
+// pool; admission control (the engine's MaxConcurrent/MaxQueue) turns
+// overload into fast 503s instead of pile-ups, per-request deadlines ride
+// the existing context plumbing, and a geometry-keyed cache (SHA-256 of
+// the canonical PSLG plus the meshing parameters) serves repeated
+// geometries without re-meshing. Observability: GET /metrics exports the
+// engine-lifetime registry (run totals and latencies plus the server's
+// request/cache counters), and a request that asks for "trace": true
+// deposits its Chrome trace-event export in a bounded ring readable at
+// GET /trace/{id}.
+
+import (
+	"bytes"
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pamg2d/internal/airfoil"
+	"pamg2d/internal/core"
+	"pamg2d/internal/growth"
+	"pamg2d/internal/pslg"
+	"pamg2d/internal/trace"
+)
+
+// meshParams is the tunable half of a request; zero values resolve to the
+// same defaults the meshgen CLI uses, so an empty params object and a
+// bare `meshgen` invocation describe the identical run.
+type meshParams struct {
+	BLH0          float64 `json:"bl_h0,omitempty"`
+	BLRatio       float64 `json:"bl_ratio,omitempty"`
+	BLLayers      int     `json:"bl_layers,omitempty"`
+	SurfaceH0     float64 `json:"h0,omitempty"`
+	Gradation     float64 `json:"gradation,omitempty"`
+	HMax          float64 `json:"hmax,omitempty"`
+	Kernel        string  `json:"kernel,omitempty"`         // ruppert | front
+	KernelWorkers int     `json:"kernel_workers,omitempty"` // 0 = server default
+	KernelShuffle bool    `json:"kernel_shuffle,omitempty"`
+	Audit         bool    `json:"audit,omitempty"`
+	Format        string  `json:"format,omitempty"`     // ascii | binary | vtk
+	TimeoutMS     int     `json:"timeout_ms,omitempty"` // capped by the server limit
+	Trace         bool    `json:"trace,omitempty"`      // keep a trace export for GET /trace/{id}
+}
+
+// meshRequest is the POST /mesh body: one geometry (named airfoil or
+// inline .poly text) plus the meshing parameters.
+type meshRequest struct {
+	// Geometry names a built-in airfoil configuration: "naca0012" or
+	// "30p30n". Ignored when Poly is set.
+	Geometry string  `json:"geometry,omitempty"`
+	N        int     `json:"n,omitempty"`        // surface half-points (default 64)
+	Farfield float64 `json:"farfield,omitempty"` // far-field half-width in chords (default 30)
+	// Poly is the PSLG as Triangle .poly text, the same format
+	// `meshgen -input`/`-write-poly` read and write.
+	Poly   string     `json:"poly,omitempty"`
+	Params meshParams `json:"params"`
+}
+
+// cacheEntry is one rendered result: the exact response bytes plus the
+// headers that describe them. Entries are immutable once stored.
+type cacheEntry struct {
+	key         string
+	body        []byte
+	contentType string
+	triangles   int
+	points      int
+}
+
+// resultCache is a mutex-guarded LRU over rendered meshes, keyed by the
+// geometry+params hash. The boundary-layer extrusion and decoupled
+// refinement are deterministic, so a hit is byte-identical to a re-run.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recent; values are *cacheEntry
+	byKey map[string]*list.Element
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, order: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+func (rc *resultCache) get(key string) *cacheEntry {
+	if rc == nil {
+		return nil
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	el, ok := rc.byKey[key]
+	if !ok {
+		return nil
+	}
+	rc.order.MoveToFront(el)
+	return el.Value.(*cacheEntry)
+}
+
+func (rc *resultCache) put(e *cacheEntry) {
+	if rc == nil {
+		return
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if el, ok := rc.byKey[e.key]; ok {
+		rc.order.MoveToFront(el)
+		el.Value = e
+		return
+	}
+	rc.byKey[e.key] = rc.order.PushFront(e)
+	for rc.order.Len() > rc.max {
+		el := rc.order.Back()
+		rc.order.Remove(el)
+		delete(rc.byKey, el.Value.(*cacheEntry).key)
+	}
+}
+
+// traceRing keeps the most recent per-request trace exports for
+// GET /trace/{id}; a bounded ring so a long-lived server cannot
+// accumulate traces without limit.
+type traceRing struct {
+	mu    sync.Mutex
+	max   int
+	order []string
+	byID  map[string][]byte
+}
+
+func newTraceRing(max int) *traceRing {
+	return &traceRing{max: max, byID: make(map[string][]byte)}
+}
+
+func (tr *traceRing) put(id string, data []byte) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if _, ok := tr.byID[id]; !ok {
+		tr.order = append(tr.order, id)
+		for len(tr.order) > tr.max {
+			delete(tr.byID, tr.order[0])
+			tr.order = tr.order[1:]
+		}
+	}
+	tr.byID[id] = data
+}
+
+func (tr *traceRing) get(id string) ([]byte, bool) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	d, ok := tr.byID[id]
+	return d, ok
+}
+
+// serverOptions sizes a meshd server.
+type serverOptions struct {
+	// MaxTimeout caps every request's generation deadline; a request's
+	// own timeout_ms can only shorten it. 0 means 2 minutes.
+	MaxTimeout time.Duration
+	// CacheSize is the LRU capacity in rendered meshes; 0 means 64,
+	// negative disables caching.
+	CacheSize int
+	// KernelWorkers is the per-run default when a request leaves
+	// kernel_workers at 0; the server's engine sizes its shared pool
+	// independently.
+	KernelWorkers int
+}
+
+// server is the HTTP layer over one shared engine.
+type server struct {
+	eng    *core.Engine
+	opts   serverOptions
+	cache  *resultCache
+	traces *traceRing
+	mux    *http.ServeMux
+	nextID atomic.Int64
+}
+
+func newServer(eng *core.Engine, opts serverOptions) *server {
+	if opts.MaxTimeout <= 0 {
+		opts.MaxTimeout = 2 * time.Minute
+	}
+	if opts.CacheSize == 0 {
+		opts.CacheSize = 64
+	}
+	s := &server{eng: eng, opts: opts, traces: newTraceRing(16)}
+	if opts.CacheSize > 0 {
+		s.cache = newResultCache(opts.CacheSize)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/mesh", s.handleMesh)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/trace/", s.handleTrace)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// httpError writes a JSON error body with the given status and counts it.
+func (s *server) httpError(w http.ResponseWriter, status int, err error) {
+	s.eng.Metrics().Count(fmt.Sprintf("server.status.%d", status), 1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// buildConfig resolves a request into the core Config plus the canonical
+// cache key: SHA-256 over the validated PSLG's .poly serialization and
+// the normalized parameters, so equivalent requests (named geometry vs
+// the identical inline poly, explicit defaults vs omitted fields) share
+// one cache slot.
+func (s *server) buildConfig(req *meshRequest) (core.Config, string, error) {
+	cfg := core.DefaultConfig()
+	p := req.Params
+
+	// Normalize the parameter defaults to the meshgen CLI's.
+	if p.BLH0 <= 0 {
+		p.BLH0 = 4e-4
+	}
+	if p.BLRatio <= 0 {
+		p.BLRatio = 1.25
+	}
+	if p.BLLayers <= 0 {
+		p.BLLayers = 40
+	}
+	if p.SurfaceH0 <= 0 {
+		p.SurfaceH0 = 0.02
+	}
+	if p.Gradation <= 0 {
+		p.Gradation = 0.15
+	}
+	if p.HMax <= 0 {
+		p.HMax = 4.0
+	}
+	if p.Kernel == "" {
+		p.Kernel = "ruppert"
+	}
+	if p.Format == "" {
+		p.Format = "ascii"
+	}
+	if p.KernelWorkers == 0 {
+		p.KernelWorkers = s.opts.KernelWorkers
+	}
+
+	var g *pslg.Graph
+	var err error
+	if req.Poly != "" {
+		g, err = pslg.ReadPoly(strings.NewReader(req.Poly))
+		if err != nil {
+			return cfg, "", fmt.Errorf("poly: %w", err)
+		}
+	} else {
+		n := req.N
+		if n <= 0 {
+			n = 64
+		}
+		ff := req.Farfield
+		if ff <= 0 {
+			ff = 30
+		}
+		var ac airfoil.Config
+		switch req.Geometry {
+		case "", "naca0012":
+			ac = airfoil.Single(airfoil.NACA0012, n, ff)
+		case "30p30n":
+			ac = airfoil.ThreeElement(n)
+			ac.FarfieldChords = ff
+		default:
+			return cfg, "", fmt.Errorf("unknown geometry %q", req.Geometry)
+		}
+		g, err = ac.Graph()
+		if err != nil {
+			return cfg, "", err
+		}
+	}
+	cfg.CustomGraph = g
+	cfg.BL.Growth = growth.Geometric{H0: p.BLH0, Ratio: p.BLRatio}
+	cfg.BL.MaxLayers = p.BLLayers
+	cfg.SurfaceH0 = p.SurfaceH0
+	cfg.Gradation = p.Gradation
+	cfg.HMax = p.HMax
+	cfg.Ranks = 0 // adopt the engine's
+	cfg.KernelWorkers = p.KernelWorkers
+	cfg.KernelShuffle = p.KernelShuffle
+	cfg.Audit = p.Audit
+	switch p.Kernel {
+	case "ruppert":
+		cfg.InviscidKernel = core.KernelRuppert
+	case "front":
+		cfg.InviscidKernel = core.KernelAdvancingFront
+	default:
+		return cfg, "", fmt.Errorf("unknown kernel %q", p.Kernel)
+	}
+	switch p.Format {
+	case "ascii", "binary", "vtk":
+	default:
+		return cfg, "", fmt.Errorf("unknown format %q", p.Format)
+	}
+
+	// The cache key: canonical geometry bytes + the result-determining
+	// parameters (deadline and trace flags excluded — they do not change
+	// the mesh). Params are hashed from the normalized copy, so omitted
+	// and explicit defaults collide as they should.
+	h := sha256.New()
+	if err := g.WritePoly(h); err != nil {
+		return cfg, "", err
+	}
+	keyed := p
+	keyed.TimeoutMS = 0
+	keyed.Trace = false
+	if err := json.NewEncoder(h).Encode(&keyed); err != nil {
+		return cfg, "", err
+	}
+	fmt.Fprintf(h, "ranks=%d", s.eng.Ranks())
+	return cfg, hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func contentTypeFor(format string) string {
+	switch format {
+	case "binary":
+		return "application/octet-stream"
+	case "vtk":
+		return "text/plain; charset=utf-8"
+	}
+	return "text/plain; charset=utf-8"
+}
+
+func (s *server) handleMesh(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.httpError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	m := s.eng.Metrics()
+	m.Count("server.requests", 1)
+	t0 := time.Now()
+
+	var req meshRequest
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&req); err != nil {
+		s.httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	cfg, key, err := s.buildConfig(&req)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	reqID := fmt.Sprintf("r%06d", s.nextID.Add(1))
+	w.Header().Set("X-Request-Id", reqID)
+
+	if e := s.cache.get(key); e != nil {
+		m.Count("server.cache.hits", 1)
+		m.Observe("server.request.seconds", time.Since(t0).Seconds())
+		s.writeEntry(w, e, "hit")
+		return
+	}
+	m.Count("server.cache.misses", 1)
+
+	// Per-request deadline: the request's own budget, capped by the
+	// server-wide limit, layered on the connection context so a client
+	// hangup cancels the run too.
+	deadline := s.opts.MaxTimeout
+	if req.Params.TimeoutMS > 0 {
+		if d := time.Duration(req.Params.TimeoutMS) * time.Millisecond; d < deadline {
+			deadline = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	var tracer *trace.Tracer
+	if req.Params.Trace {
+		tracer = trace.New(s.eng.Ranks())
+		cfg.Tracer = tracer
+	}
+
+	res, err := s.eng.Run(ctx, cfg)
+	if tracer != nil {
+		var buf bytes.Buffer
+		if werr := tracer.WriteTrace(&buf); werr == nil {
+			s.traces.put(reqID, buf.Bytes())
+			w.Header().Set("X-Trace-Id", reqID)
+		}
+	}
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, core.ErrEngineBusy):
+			status = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "1")
+		case errors.Is(err, core.ErrEngineClosed):
+			status = http.StatusServiceUnavailable
+		case errors.Is(err, context.DeadlineExceeded):
+			status = http.StatusGatewayTimeout
+		case errors.Is(err, context.Canceled):
+			status = 499 // client closed request
+		case cfg.Audit && strings.Contains(err.Error(), "audit"):
+			status = http.StatusUnprocessableEntity
+		}
+		s.httpError(w, status, err)
+		return
+	}
+
+	var buf bytes.Buffer
+	switch req.Params.Format {
+	case "binary":
+		err = res.Mesh.WriteBinary(&buf)
+	case "vtk":
+		err = res.Mesh.WriteVTK(&buf, nil)
+	default:
+		err = res.Mesh.WriteASCII(&buf)
+	}
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	e := &cacheEntry{
+		key:         key,
+		body:        buf.Bytes(),
+		contentType: contentTypeFor(req.Params.Format),
+		triangles:   res.Stats.TotalTriangles,
+		points:      res.Mesh.NumPoints(),
+	}
+	s.cache.put(e)
+	m.Observe("server.request.seconds", time.Since(t0).Seconds())
+	s.writeEntry(w, e, "miss")
+}
+
+func (s *server) writeEntry(w http.ResponseWriter, e *cacheEntry, cache string) {
+	s.eng.Metrics().Count("server.status.200", 1)
+	h := w.Header()
+	h.Set("Content-Type", e.contentType)
+	h.Set("X-Cache", cache)
+	h.Set("X-Mesh-Points", fmt.Sprint(e.points))
+	h.Set("X-Mesh-Triangles", fmt.Sprint(e.triangles))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(e.body)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.eng.Metrics()
+	m.Gauge("server.engine.active", float64(s.eng.Active()))
+	w.Header().Set("Content-Type", "application/json")
+	if err := m.WriteMetrics(w); err != nil {
+		s.httpError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status": "ok",
+		"ranks":  s.eng.Ranks(),
+		"active": s.eng.Active(),
+	})
+}
+
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/trace/")
+	data, ok := s.traces.get(id)
+	if !ok {
+		s.httpError(w, http.StatusNotFound, fmt.Errorf("no trace for request %q (ring keeps the last %d traced requests)", id, s.traces.max))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
+}

@@ -1,0 +1,249 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"pamg2d/internal/airfoil"
+	"pamg2d/internal/core"
+	"pamg2d/internal/trace"
+)
+
+// soloMesh renders the meshgen-equivalent single-run output for the named
+// airfoil at resolution n: the byte-identity reference for served meshes.
+func soloMesh(t *testing.T, n, ranks int, audit bool) []byte {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Geometry = airfoil.Single(airfoil.NACA0012, n, 30)
+	cfg.Ranks = ranks
+	cfg.Audit = audit
+	res, err := core.Generate(cfg)
+	if err != nil {
+		t.Fatalf("solo generate n=%d: %v", n, err)
+	}
+	var buf bytes.Buffer
+	if err := res.Mesh.WriteASCII(&buf); err != nil {
+		t.Fatalf("write solo mesh: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func newTestServer(t *testing.T, ec core.EngineConfig, opts serverOptions) (*httptest.Server, *core.Engine) {
+	t.Helper()
+	eng, err := core.NewEngine(ec)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	ts := httptest.NewServer(newServer(eng, opts))
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Close()
+	})
+	return ts, eng
+}
+
+func postMesh(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/mesh", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("POST /mesh: %v", err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, data
+}
+
+// TestServeConcurrentAuditedCached is the PR's acceptance test: two
+// concurrent audited requests against one meshd process complete with
+// meshes byte-identical to single-run output, and a repeated identical
+// request is served from the geometry-keyed cache, visible both in the
+// X-Cache header and the /metrics cache-hit counter.
+func TestServeConcurrentAuditedCached(t *testing.T) {
+	ts, _ := newTestServer(t,
+		core.EngineConfig{Ranks: 2, MaxConcurrent: 4},
+		serverOptions{KernelWorkers: 1})
+
+	ns := []int{20, 24}
+	want := make(map[int][]byte)
+	for _, n := range ns {
+		want[n] = soloMesh(t, n, 2, true)
+	}
+
+	// Two different geometries meshed concurrently on the shared engine.
+	var wg sync.WaitGroup
+	got := make(map[int][]byte)
+	status := make(map[int]int)
+	var mu sync.Mutex
+	for _, n := range ns {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			resp, body := postMesh(t, ts.URL,
+				fmt.Sprintf(`{"geometry":"naca0012","n":%d,"params":{"audit":true}}`, n))
+			mu.Lock()
+			got[n] = body
+			status[n] = resp.StatusCode
+			mu.Unlock()
+		}(n)
+	}
+	wg.Wait()
+	for _, n := range ns {
+		if status[n] != http.StatusOK {
+			t.Fatalf("n=%d: status %d: %s", n, status[n], got[n])
+		}
+		if !bytes.Equal(got[n], want[n]) {
+			t.Errorf("n=%d: served mesh differs from single-run output (%d vs %d bytes)",
+				n, len(got[n]), len(want[n]))
+		}
+	}
+
+	// The repeat must come from the cache, byte-identical again.
+	resp, body := postMesh(t, ts.URL, `{"geometry":"naca0012","n":20,"params":{"audit":true}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat: status %d: %s", resp.StatusCode, body)
+	}
+	if hdr := resp.Header.Get("X-Cache"); hdr != "hit" {
+		t.Errorf("repeat request X-Cache = %q, want \"hit\"", hdr)
+	}
+	if !bytes.Equal(body, want[20]) {
+		t.Errorf("cached mesh differs from single-run output")
+	}
+
+	// And the hit shows up in the /metrics counters.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer mresp.Body.Close()
+	var mj trace.MetricsJSON
+	if err := json.NewDecoder(mresp.Body).Decode(&mj); err != nil {
+		t.Fatalf("decode metrics: %v", err)
+	}
+	if mj.Counters["server.cache.hits"] < 1 {
+		t.Errorf("server.cache.hits = %d, want >= 1", mj.Counters["server.cache.hits"])
+	}
+	if mj.Counters["server.cache.misses"] != 2 {
+		t.Errorf("server.cache.misses = %d, want 2", mj.Counters["server.cache.misses"])
+	}
+	if mj.Counters["engine.runs"] != 2 {
+		t.Errorf("engine.runs = %d, want 2 (cache hit must not re-run)", mj.Counters["engine.runs"])
+	}
+}
+
+// TestServeTraceExport: a request with "trace": true deposits a Chrome
+// trace export retrievable at /trace/{id}.
+func TestServeTraceExport(t *testing.T) {
+	ts, _ := newTestServer(t, core.EngineConfig{Ranks: 1}, serverOptions{})
+	resp, body := postMesh(t, ts.URL, `{"geometry":"naca0012","n":16,"params":{"trace":true}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	id := resp.Header.Get("X-Trace-Id")
+	if id == "" {
+		t.Fatalf("no X-Trace-Id header on traced request")
+	}
+	tresp, err := http.Get(ts.URL + "/trace/" + id)
+	if err != nil {
+		t.Fatalf("GET /trace/%s: %v", id, err)
+	}
+	defer tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /trace/%s: status %d", id, tresp.StatusCode)
+	}
+	var tf struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(tresp.Body).Decode(&tf); err != nil {
+		t.Fatalf("decode trace: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Errorf("trace export has no events")
+	}
+}
+
+// TestServeBadRequests: malformed inputs come back as 400s with JSON
+// error bodies, not 500s or hangs.
+func TestServeBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t, core.EngineConfig{Ranks: 1}, serverOptions{})
+	cases := []struct {
+		name, body string
+	}{
+		{"bad json", `{`},
+		{"unknown geometry", `{"geometry":"b747"}`},
+		{"unknown kernel", `{"geometry":"naca0012","params":{"kernel":"voronoi"}}`},
+		{"unknown format", `{"geometry":"naca0012","params":{"format":"stl"}}`},
+		{"bad poly", `{"poly":"not a poly file"}`},
+	}
+	for _, c := range cases {
+		resp, body := postMesh(t, ts.URL, c.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", c.name, resp.StatusCode, body)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
+			t.Errorf("%s: error body %q is not {\"error\": ...}", c.name, body)
+		}
+	}
+	if resp, _ := postMesh(t, ts.URL, ""); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty body: status %d, want 400", resp.StatusCode)
+	}
+	resp, err := http.Get(ts.URL + "/mesh")
+	if err != nil {
+		t.Fatalf("GET /mesh: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /mesh: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestServeHealthz sanity-checks the liveness endpoint.
+func TestServeHealthz(t *testing.T) {
+	ts, eng := newTestServer(t, core.EngineConfig{Ranks: 3}, serverOptions{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status string `json:"status"`
+		Ranks  int    `json:"ranks"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("decode healthz: %v", err)
+	}
+	if h.Status != "ok" || h.Ranks != eng.Ranks() {
+		t.Errorf("healthz = %+v, want ok with %d ranks", h, eng.Ranks())
+	}
+}
+
+// TestCacheKeyEquivalence: omitted parameters and their explicit defaults
+// must share one cache slot, and a parameter that changes the mesh must
+// not.
+func TestCacheKeyEquivalence(t *testing.T) {
+	ts, _ := newTestServer(t, core.EngineConfig{Ranks: 1}, serverOptions{})
+	resp1, _ := postMesh(t, ts.URL, `{"geometry":"naca0012","n":16}`)
+	if resp1.StatusCode != http.StatusOK || resp1.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("first: status %d cache %q", resp1.StatusCode, resp1.Header.Get("X-Cache"))
+	}
+	// Explicit defaults == omitted defaults.
+	resp2, _ := postMesh(t, ts.URL,
+		`{"geometry":"naca0012","n":16,"params":{"h0":0.02,"gradation":0.15,"hmax":4.0,"kernel":"ruppert","format":"ascii"}}`)
+	if resp2.Header.Get("X-Cache") != "hit" {
+		t.Errorf("explicit defaults: X-Cache %q, want hit", resp2.Header.Get("X-Cache"))
+	}
+	// A different sizing is a different mesh.
+	resp3, _ := postMesh(t, ts.URL, `{"geometry":"naca0012","n":16,"params":{"h0":0.05}}`)
+	if resp3.Header.Get("X-Cache") != "miss" {
+		t.Errorf("changed h0: X-Cache %q, want miss", resp3.Header.Get("X-Cache"))
+	}
+}

@@ -30,6 +30,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		nHalf      = fs.Int("n", 64, "surface resolution (half-points per element)")
 		ranks      = fs.Int("ranks", 4, "MPI ranks (goroutines with -transport inproc, processes with tcp)")
 		kernelW    = fs.Int("kernel-workers", 1, "Delaunay insertion goroutines per task (1 = sequential, 0 = NumCPU)")
+		kernelSh   = fs.Bool("kernel-shuffle", false, "BRIO round-shuffled insertion batches in the parallel kernel (cuts conflict retries on clustered points)")
 		transport  = fs.String("transport", "inproc", "rank transport: inproc | tcp (spawns ranks-1 worker processes)")
 		listen     = fs.String("listen", "127.0.0.1:0", "launcher listen address for -transport tcp")
 		spawn      = fs.Int("spawn", -1, "worker processes the launcher forks locally (-1 = ranks-1; 0 = all workers join by hand)")
@@ -148,6 +149,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	cfg.HMax = *hmax
 	cfg.Ranks = *ranks
 	cfg.KernelWorkers = *kernelW
+	cfg.KernelShuffle = *kernelSh
 	cfg.Audit = *auditRun
 	switch *kernel {
 	case "ruppert":

@@ -77,6 +77,15 @@ type Config struct {
 	// Ranks: each rank's meshing tasks individually fan their bulk point
 	// insertion across this many workers.
 	KernelWorkers int
+	// KernelShuffle turns on BRIO-style round-shuffled insertion batches in
+	// the parallel Delaunay kernel (KernelWorkers > 1): instead of feeding
+	// the x-sorted point order straight into the independent-set rounds —
+	// whose spatially adjacent batches retry heavily on clustered
+	// boundary-layer points — each batch interleaves points from across the
+	// whole domain, cutting Stats.Kernel.Conflicts at the cost of
+	// bin-seeded (rather than walk-coherent) point location. Off by
+	// default; no effect on the sequential kernel.
+	KernelShuffle bool
 	// NearBodyMargin inflates the boundary-layer bounding box to form the
 	// near-body box, in multiples of the box diagonal; default 0.25.
 	NearBodyMargin float64

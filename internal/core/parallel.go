@@ -107,6 +107,13 @@ type taskCtx struct {
 	kern   *kernelCounters
 	tracer *trace.Tracer
 	rank   int
+	// pool, when non-nil, is the engine's shared kernel worker team; the
+	// parallel builds submit their stripe jobs to it instead of spawning a
+	// goroutine squad per build.
+	pool *delaunay.WorkerPool
+	// shuffle selects BRIO round-shuffled insertion batches
+	// (Config.KernelShuffle).
+	shuffle bool
 	// hook, when set (tests only), runs before each task's kind dispatch;
 	// a non-nil return fails the task on the executing rank.
 	hook func(kind int) error
@@ -115,7 +122,13 @@ type taskCtx struct {
 // parOpts builds the Delaunay engine options for a task executing on this
 // context's rank.
 func (ctx *taskCtx) parOpts() delaunay.ParallelOptions {
-	return delaunay.ParallelOptions{Workers: ctx.workers, Tracer: ctx.tracer, Rank: ctx.rank}
+	return delaunay.ParallelOptions{
+		Workers:      ctx.workers,
+		Tracer:       ctx.tracer,
+		Rank:         ctx.rank,
+		Pool:         ctx.pool,
+		RoundShuffle: ctx.shuffle,
+	}
 }
 
 // kernelCounters accumulates the intra-rank insertion engine's statistics
@@ -322,6 +335,10 @@ func runDistributed(rc *RunCtx, stage string, tasks []loadbal.Task, tctx taskCtx
 		kern = &kernelCounters{}
 		tctx.kern = kern
 		tctx.tracer = tr
+		tctx.shuffle = cfg.KernelShuffle
+		if rc.eng != nil {
+			tctx.pool = rc.eng.kernelPool()
+		}
 	}
 	world := rc.newWorld()
 	world.SetTracer(tr)

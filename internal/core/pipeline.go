@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"runtime"
 	"strconv"
 
 	"pamg2d/internal/blayer"
@@ -35,50 +34,22 @@ func Generate(cfg Config) (*Result, error) {
 // interrupted stage (wrapping the context's cause) instead of a mesh. All
 // failures, not just cancellation, surface as *PhaseError values
 // attributing the stage and — for worker-side failures — the rank.
+//
+// It is a thin wrapper over a throwaway Engine: the run borrows a
+// single-use fabric and releases it on return. Long-lived callers that
+// execute many runs (cmd/meshd, adaptation loops) should hold a shared
+// Engine instead and call Engine.Run directly.
 func GenerateContext(ctx context.Context, cfg Config) (*Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if cfg.Fabric != nil {
-		if cfg.Ranks < 1 {
-			cfg.Ranks = cfg.Fabric.Size()
-		} else if cfg.Ranks != cfg.Fabric.Size() {
-			return nil, fmt.Errorf("core: config asks for %d ranks but the fabric has %d", cfg.Ranks, cfg.Fabric.Size())
-		}
-	}
-	if cfg.Ranks < 1 {
-		cfg.Ranks = 1
-	}
-	if cfg.SubdomainsPerRank < 1 {
-		cfg.SubdomainsPerRank = 4
-	}
-	if cfg.KernelWorkers == 0 {
-		cfg.KernelWorkers = runtime.NumCPU()
-	}
-	if cfg.KernelWorkers < 1 {
-		cfg.KernelWorkers = 1
-	}
-	if cfg.NearBodyMargin <= 0 {
-		cfg.NearBodyMargin = 0.25
-	}
-	res := &Result{}
-	rc := &RunCtx{ctx: ctx, cfg: cfg, stats: &res.Stats, res: res, tracer: cfg.Tracer}
-	stages := pipeline
-	if cfg.Audit {
-		// Fresh slice: the shared pipeline list must not grow an audit stage
-		// for runs that did not ask for one.
-		stages = append(append(make([]Stage, 0, len(pipeline)+1), pipeline...),
-			stageFunc{StageAudit, runAudit})
-	}
-	err := rc.runStages(stages)
-	// Fold the run summary into the metrics registry even on failure: a
-	// canceled run's partial registry is often exactly what is being
-	// debugged. No-op without a tracer.
-	foldMetrics(rc.tracer.Metrics(), &res.Stats)
+	eng, err := NewEngine(EngineConfig{
+		Ranks:          cfg.Ranks,
+		Fabric:         cfg.Fabric,
+		KernelPoolSize: cfg.KernelWorkers,
+	})
 	if err != nil {
 		return nil, err
 	}
-	return res, nil
+	defer eng.Close()
+	return eng.Run(ctx, cfg)
 }
 
 // foldMetrics writes the run's summary statistics into the metrics

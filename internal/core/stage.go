@@ -156,6 +156,7 @@ type RunCtx struct {
 	stats  *Stats
 	res    *Result
 	tracer *trace.Tracer // nil when tracing is off
+	eng    *Engine       // owning engine; nil for directly-constructed test runs
 
 	// Intermediate pipeline state, in production order.
 	g          *pslg.Graph     // validate
