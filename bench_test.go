@@ -13,6 +13,7 @@ import (
 	"sync"
 	"testing"
 
+	"pamg2d/internal/adapt"
 	"pamg2d/internal/adt"
 	"pamg2d/internal/airfoil"
 	"pamg2d/internal/benchcfg"
@@ -22,6 +23,7 @@ import (
 	"pamg2d/internal/delaunay"
 	"pamg2d/internal/geom"
 	"pamg2d/internal/growth"
+	"pamg2d/internal/metric"
 	"pamg2d/internal/mpi"
 	"pamg2d/internal/perfmodel"
 	"pamg2d/internal/project"
@@ -611,6 +613,37 @@ func BenchmarkPushButtonTCP(b *testing.B) {
 		tris = results[0].Stats.TotalTriangles
 	}
 	b.ReportMetric(float64(tris), "triangles")
+}
+
+// BenchmarkPushButtonAdapt measures one metric-adaptation cycle of the
+// cavity-operator engine on the PushButton mesh against the shared
+// analytic boundary-layer metric (cmd/benchreport records the same
+// workload as PushButton/1-ranks-adapt). Generation happens once outside
+// the timer; Adapt does not mutate its input, so every iteration adapts
+// the identical mesh.
+func BenchmarkPushButtonAdapt(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Ranks = 1
+	res, err := core.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fn, err := metric.ParseSpec(benchcfg.AdaptMetric)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := metric.Analytic(res.Mesh, fn)
+	var r *adapt.Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, r, err = adapt.Adapt(res.Mesh, f, adapt.Options{Resample: fn})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*r.InBand, "in-band-pct")
+	b.ReportMetric(float64(r.Sweeps), "sweeps")
 }
 
 // BenchmarkPushButtonAudited is the PushButton pipeline with the

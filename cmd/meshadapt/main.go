@@ -1,0 +1,20 @@
+// Command meshadapt adapts a saved mesh toward unit metric edge length:
+// read a mesh, build a metric field (an analytic spec or the Hessian of
+// a freshly solved default problem), run the cavity-operator engine for
+// the requested cycles, audit, and write the adapted mesh.
+//
+//	meshgen -o flat.mesh
+//	meshadapt -metric "bl:x0=0,y0=0,x1=1,y1=0,hn=0.005,ht=0.1,grow=0.5" -o adapted.mesh flat.mesh
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "meshadapt: %v\n", err)
+		os.Exit(1)
+	}
+}

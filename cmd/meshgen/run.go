@@ -53,6 +53,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		traceOut   = fs.String("trace", "", "write a Chrome trace-event file of the run (load in Perfetto / chrome://tracing)")
 		metricsOut = fs.String("metrics", "", "write the run-metrics registry (counters/gauges/histograms) as JSON")
 		timeout    = fs.Duration("timeout", 0, "abort generation after this duration (0 = no limit)")
+		adaptN     = fs.Int("adapt-cycles", 0, "metric-adaptation cycles after generation (0 = off)")
+		adaptMet   = fs.String("adapt-metric", "hessian", "metric source: hessian | a metric spec (uniform:h=… | bl:…)")
+		adaptIso   = fs.Bool("adapt-iso", false, "adapt with the isotropic indicator loop (full regeneration per cycle) instead of the cavity-operator engine")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -222,6 +225,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	if *adaptN > 0 {
+		if fabric != nil {
+			return fmt.Errorf("-adapt-cycles requires -transport inproc")
+		}
+		cfg.Adapt = core.AdaptParams{Cycles: *adaptN, Metric: *adaptMet}
+		adapted, err := runAdapt(cfg, res.Mesh, *adaptIso, tracer, stderr, *quiet)
+		if err != nil {
+			return err
+		}
+		res.Mesh = adapted
+	}
+
 	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -250,7 +265,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		q := res.Mesh.Quality()
 		fmt.Fprintf(stderr, "points               %d\n", res.Mesh.NumPoints())
 		fmt.Fprintf(stderr, "triangles            %d (BL %d, transition %d, inviscid %d)\n",
-			st.TotalTriangles, st.BLTriangles, st.TransitionTris, st.InviscidTris)
+			res.Mesh.NumTriangles(), st.BLTriangles, st.TransitionTris, st.InviscidTris)
 		fmt.Fprintf(stderr, "boundary-layer pts   %d from %d surface points\n",
 			st.BoundaryLayerPts, st.SurfacePoints)
 		fmt.Fprintf(stderr, "max aspect ratio     %.1f\n", q.MaxAspectRatio)

@@ -10,7 +10,9 @@ import (
 	"strings"
 	"testing"
 
+	"pamg2d/internal/audit"
 	"pamg2d/internal/core"
+	"pamg2d/internal/mesh"
 	"pamg2d/internal/trace"
 )
 
@@ -222,5 +224,48 @@ func TestRunCanceledContext(t *testing.T) {
 	}
 	if !errors.Is(err, context.Canceled) {
 		t.Errorf("error does not wrap context.Canceled: %v", err)
+	}
+}
+
+func TestRunAdaptCycles(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "adapted.txt")
+	var stdout, errb bytes.Buffer
+	err := run(context.Background(),
+		fastArgs("-adapt-cycles", "1", "-adapt-metric", "uniform:h=0.3", "-o", out),
+		&stdout, &errb)
+	if err != nil {
+		t.Fatalf("adapt run: %v\n%s", err, errb.String())
+	}
+	if !strings.Contains(errb.String(), "adapt 0") {
+		t.Errorf("stats missing adapt cycle line:\n%s", errb.String())
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := mesh.ReadASCII(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := audit.Run(&audit.Snapshot{Mesh: m}, audit.Adapted()); !rep.Ok() {
+		t.Errorf("adapted mesh fails audit: %+v", rep.Violations)
+	}
+}
+
+func TestRunAdaptIso(t *testing.T) {
+	var stdout, errb bytes.Buffer
+	err := run(context.Background(),
+		fastArgs("-adapt-cycles", "1", "-adapt-iso"),
+		&stdout, &errb)
+	if err != nil {
+		t.Fatalf("adapt-iso run: %v\n%s", err, errb.String())
+	}
+	if !strings.Contains(errb.String(), "adapt-iso 0") || !strings.Contains(errb.String(), "adapt-iso 1") {
+		t.Errorf("stats missing adapt-iso cycle lines:\n%s", errb.String())
+	}
+	if stdout.Len() == 0 {
+		t.Fatal("no mesh written")
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"pamg2d/internal/mesh"
+	"pamg2d/internal/metric"
 )
 
 // run executes the meshstats CLI against explicit streams so it is
@@ -16,6 +17,8 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("meshstats", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	format := fs.String("format", "auto", "input format: ascii | binary | auto")
+	metricSpec := fs.String("metric", "", "also report metric-space quality under this metric spec (uniform:h=… | bl:…)")
+	band := fs.Float64("band", 0, "metric-length acceptance band upper bound (0 = sqrt 2)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -91,6 +94,44 @@ func run(args []string, stdout io.Writer) error {
 			bar = strings.Repeat("#", 1+c*40/maxCount)
 		}
 		fmt.Fprintf(stdout, "  %3d-%3d deg %8d %s\n", b*10, b*10+10, c, bar)
+	}
+
+	if *metricSpec != "" {
+		fn, err := metric.ParseSpec(*metricSpec)
+		if err != nil {
+			return err
+		}
+		st, err := metric.FieldStats(m, metric.Analytic(m, fn), *band)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\nmetric        %s\n", *metricSpec)
+		fmt.Fprintf(stdout, "metric edges  %d\n", st.Edges)
+		fmt.Fprintf(stdout, "metric len    min %.3g  mean %.3g  max %.3g\n", st.MinLen, st.MeanLen, st.MaxLen)
+		fmt.Fprintf(stdout, "in band       %.1f%% of edges\n", 100*st.InBand)
+		fmt.Fprintf(stdout, "anisotropy    min %.2f  mean %.2f  max %.2f\n", st.MinAspect, st.MeanAspect, st.MaxAspect)
+		fmt.Fprintln(stdout, "\nanisotropy-ratio histogram (power-of-two buckets):")
+		maxCount = 0
+		for _, c := range st.AspectHist {
+			if c > maxCount {
+				maxCount = c
+			}
+		}
+		for b, c := range st.AspectHist {
+			if c == 0 {
+				continue
+			}
+			bar := ""
+			if maxCount > 0 {
+				bar = strings.Repeat("#", 1+c*40/maxCount)
+			}
+			lo := 1 << b
+			if b == len(st.AspectHist)-1 {
+				fmt.Fprintf(stdout, "  %4d+      %8d %s\n", lo, c, bar)
+			} else {
+				fmt.Fprintf(stdout, "  %4d-%-4d  %8d %s\n", lo, lo*2, c, bar)
+			}
+		}
 	}
 	return nil
 }

@@ -114,3 +114,25 @@ func TestStatsFailedAudit(t *testing.T) {
 		t.Error("report must mark the failed audit")
 	}
 }
+
+func TestStatsMetricSection(t *testing.T) {
+	path := writeSample(t, false)
+	var out bytes.Buffer
+	if err := run([]string{"-metric", "uniform:h=0.5", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"metric        uniform:h=0.5", "metric edges  5", "in band", "anisotropy"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("metric section missing %q:\n%s", want, s)
+		}
+	}
+	// The unit square under h=0.5 has edges of metric length 2 and 2*sqrt2:
+	// none in the quasi-unit band.
+	if !strings.Contains(s, "in band       0.0%") {
+		t.Errorf("expected no edges in band:\n%s", s)
+	}
+	if err := run([]string{"-metric", "bogus:spec", path}, &out); err == nil {
+		t.Error("bogus metric spec must fail")
+	}
+}

@@ -50,7 +50,7 @@ func main() {
 	problem := func(m *mesh.Mesh) solver.Problem {
 		return solver.Problem{Mesh: m, Diffusivity: 0.05, Velocity: geom.V(1, 0), Boundary: bc}
 	}
-	opt := adapt.Options{
+	opt := adapt.LoopOptions{
 		Steps:  3,
 		Solver: solver.Options{Tol: 1e-8, MaxIters: 200000, Method: solver.GaussSeidel},
 	}

@@ -169,8 +169,8 @@ type Step struct {
 	Iterations int // solver iterations this step
 }
 
-// Options controls the adaptation loop.
-type Options struct {
+// LoopOptions controls the solve–adapt–remesh loop.
+type LoopOptions struct {
 	// Steps is the number of generate-solve-adapt trips.
 	Steps int
 	// Sizing tunes the indicator-to-sizing conversion.
@@ -184,7 +184,7 @@ type Options struct {
 // Steps times. The problem callback builds the solver setup for a given
 // mesh (boundary conditions usually depend on the geometry, not the mesh,
 // so the callback typically just fills in the Mesh field).
-func Loop(cfg core.Config, problem func(*mesh.Mesh) solver.Problem, opt Options) ([]Step, error) {
+func Loop(cfg core.Config, problem func(*mesh.Mesh) solver.Problem, opt LoopOptions) ([]Step, error) {
 	if opt.Steps < 1 {
 		opt.Steps = 1
 	}

@@ -132,7 +132,7 @@ func TestLoopReducesErrorAndConcentratesCells(t *testing.T) {
 	problem := func(m *mesh.Mesh) solver.Problem {
 		return solver.Problem{Mesh: m, Diffusivity: 0.05, Velocity: geom.V(1, 0), Boundary: bc}
 	}
-	steps, err := Loop(cfg, problem, Options{
+	steps, err := Loop(cfg, problem, LoopOptions{
 		Steps:  3,
 		Solver: solver.Options{Tol: 1e-8, MaxIters: 100000, Method: solver.GaussSeidel},
 	})

@@ -1,0 +1,298 @@
+package adapt
+
+// Distributed plan evaluation. Evaluation is the expensive phase of a
+// pass (ring walks, metric lengths, quality integrals) and is
+// embarrassingly parallel over frozen topology, so with Options.Ranks > 1
+// each pass fans the evaluation chunks out as loadbal tasks over an
+// in-process MPI world: ranks steal chunks off each other, evaluate them
+// against the shared read-only topo, and ship the resulting plan batches
+// to the root with a typed reference payload (CodecPlanBatch, so the
+// batches also survive a wire transport byte-for-byte). The root
+// reassembles batches by chunk id, which restores the exact order local
+// evaluation would have produced — selection and commit then proceed
+// exactly as in the local path, so Ranks is a throughput knob, never a
+// result knob.
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"pamg2d/internal/geom"
+	"pamg2d/internal/loadbal"
+	"pamg2d/internal/metric"
+	"pamg2d/internal/mpi"
+)
+
+// CodecPlanBatch is the wire codec id for *planBatch payloads. The adapt
+// package takes the block 48–63, after core's 32–47.
+const CodecPlanBatch mpi.CodecID = 48
+
+// tagPlans carries evaluated plan batches to rank 0; loadbal's stealing
+// protocol owns the 100+ tag range.
+const tagPlans = 200
+
+// planBatch is one evaluation chunk's result in flight to the root.
+type planBatch struct {
+	Chunk int32
+	Plans []*opPlan
+}
+
+func init() {
+	mpi.RegisterCodec(CodecPlanBatch, (*planBatch)(nil), encodePlanBatch, decodePlanBatch)
+}
+
+// evaluateDist is evaluate with the chunk loop distributed over an
+// in-process world via the work-stealing balancer.
+func (e *engine) evaluateDist(kind opKind) ([]*opPlan, error) {
+	n := e.items(kind)
+	chunks := (n + evalChunk - 1) / evalChunk
+	ranks := e.opt.Ranks
+	world := mpi.NewWorld(ranks)
+	defer world.Close(nil)
+	world.SetTracer(e.opt.Tracer)
+	win := world.NewWindow(ranks)
+
+	tasks := make([]loadbal.Task, chunks)
+	total := 0.0
+	for c := 0; c < chunks; c++ {
+		from, to := c*evalChunk, min((c+1)*evalChunk, n)
+		tasks[c] = loadbal.Task{
+			ID:   int32(c),
+			Cost: float64(to - from),
+			Vals: []float64{float64(c), float64(kind), float64(from), float64(to)},
+		}
+		total += tasks[c].Cost
+	}
+	initial := make([][]loadbal.Task, ranks)
+	for i, t := range tasks {
+		initial[i%ranks] = append(initial[i%ranks], t)
+	}
+
+	results := make([][]*opPlan, chunks)
+	collected := 0
+	lb := loadbal.DefaultOptions(total, ranks)
+	lb.Tracer = e.opt.Tracer
+	ctx := context.Background()
+	err := world.RunCtx(ctx, func(c *mpi.Comm) error {
+		_, err := loadbal.Run(ctx, c, win, initial[c.Rank()], chunks, lb, func(task loadbal.Task) {
+			s1 := make([]int32, 0, maxRing)
+			s2 := make([]int32, 0, maxRing)
+			chunk := int32(task.Vals[0])
+			k := opKind(task.Vals[1])
+			from, to := int(task.Vals[2]), int(task.Vals[3])
+			batch := &planBatch{Chunk: chunk, Plans: e.evalRange(k, from, to, s1, s2)}
+			_ = c.SendRef(0, tagPlans, batch, batch.wireBytes())
+		})
+		if err != nil {
+			return err
+		}
+		if c.Rank() != 0 {
+			return nil
+		}
+		// The balancer's termination protocol means every task has sent
+		// its batch to us (per-pair FIFO: a rank's batch precedes its
+		// completion notice), so the mailbox drains without blocking.
+		for collected < chunks {
+			ref, _, _, ok := c.TryRecvRef(mpi.AnySource, tagPlans)
+			if !ok {
+				return fmt.Errorf("adapt: collected %d of %d plan batches", collected, chunks)
+			}
+			b, ok := ref.(*planBatch)
+			if !ok {
+				return fmt.Errorf("adapt: unexpected plan payload %T", ref)
+			}
+			results[b.Chunk] = b.Plans
+			collected++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("adapt: distributed evaluation: %w", err)
+	}
+	var out []*opPlan
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out, nil
+}
+
+// --- wire codec ----------------------------------------------------------
+
+func putU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func putI32(dst []byte, v int32) []byte { return putU32(dst, uint32(v)) }
+
+func putF64(dst []byte, v float64) []byte {
+	b := math.Float64bits(v)
+	return append(dst, byte(b), byte(b>>8), byte(b>>16), byte(b>>24),
+		byte(b>>32), byte(b>>40), byte(b>>48), byte(b>>56))
+}
+
+// encodePlanBatch serializes a batch. Selection-time fields (newV,
+// slots) never travel: they are assigned on the root.
+func encodePlanBatch(ref any, dst []byte) []byte {
+	b := ref.(*planBatch)
+	dst = putI32(dst, b.Chunk)
+	dst = putU32(dst, uint32(len(b.Plans)))
+	for _, p := range b.Plans {
+		flags := byte(0)
+		if p.Bnd {
+			flags |= 1
+		}
+		if p.Mid {
+			flags |= 2
+		}
+		dst = append(dst, byte(p.Kind), flags, byte(p.E), byte(p.NDy))
+		dst = putF64(dst, p.Prio)
+		dst = putI32(dst, p.T)
+		dst = putI32(dst, p.V)
+		dst = putI32(dst, p.Keep)
+		dst = putF64(dst, p.Pos.X)
+		dst = putF64(dst, p.Pos.Y)
+		dst = putF64(dst, p.Met.XX)
+		dst = putF64(dst, p.Met.XY)
+		dst = putF64(dst, p.Met.YY)
+		dst = putU32(dst, uint32(len(p.Cav)))
+		for _, t := range p.Cav {
+			dst = putI32(dst, t)
+		}
+		for _, pr := range p.Pat {
+			dst = putI32(dst, pr.T)
+			dst = append(dst, byte(pr.E))
+		}
+		for _, d := range p.Dy {
+			dst = putI32(dst, d.D)
+			dst = putI32(dst, d.K)
+			dst = putI32(dst, d.R)
+			dst = putI32(dst, d.W)
+			dst = append(dst, byte(d.KE))
+		}
+	}
+	return dst
+}
+
+type wireReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *wireReader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := uint32(r.b[r.off]) | uint32(r.b[r.off+1])<<8 |
+		uint32(r.b[r.off+2])<<16 | uint32(r.b[r.off+3])<<24
+	r.off += 4
+	return v
+}
+
+func (r *wireReader) i32() int32 { return int32(r.u32()) }
+
+func (r *wireReader) f64() float64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(r.b[r.off+i]) << (8 * i)
+	}
+	r.off += 8
+	return math.Float64frombits(v)
+}
+
+func (r *wireReader) u8() byte {
+	if r.err != nil || r.off >= len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *wireReader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("adapt: truncated plan batch at byte %d of %d", r.off, len(r.b))
+	}
+}
+
+func decodePlanBatch(b []byte) (any, error) {
+	r := &wireReader{b: b}
+	out := &planBatch{Chunk: r.i32()}
+	n := r.u32()
+	if r.err != nil {
+		return nil, r.err
+	}
+	// Each plan occupies at least planWireFixed bytes; reject absurd
+	// counts before allocating.
+	if int(n) > len(b)/planWireFixed+1 {
+		return nil, fmt.Errorf("adapt: plan batch claims %d plans in %d bytes", n, len(b))
+	}
+	out.Plans = make([]*opPlan, 0, n)
+	for i := uint32(0); i < n; i++ {
+		p := &opPlan{}
+		p.Kind = opKind(r.u8())
+		flags := r.u8()
+		p.Bnd = flags&1 != 0
+		p.Mid = flags&2 != 0
+		p.E = int8(r.u8())
+		p.NDy = int8(r.u8())
+		p.Prio = r.f64()
+		p.T = r.i32()
+		p.V = r.i32()
+		p.Keep = r.i32()
+		p.Pos = geom.Pt(r.f64(), r.f64())
+		p.Met = metric.M{XX: r.f64(), XY: r.f64(), YY: r.f64()}
+		nc := r.u32()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if int(nc) > (len(b)-r.off)/4+1 {
+			return nil, fmt.Errorf("adapt: plan cavity claims %d triangles in %d bytes", nc, len(b)-r.off)
+		}
+		p.Cav = make([]int32, nc)
+		for j := range p.Cav {
+			p.Cav[j] = r.i32()
+		}
+		for j := range p.Pat {
+			p.Pat[j].T = r.i32()
+			p.Pat[j].E = int8(r.u8())
+		}
+		for j := range p.Dy {
+			p.Dy[j].D = r.i32()
+			p.Dy[j].K = r.i32()
+			p.Dy[j].R = r.i32()
+			p.Dy[j].W = r.i32()
+			p.Dy[j].KE = int8(r.u8())
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		out.Plans = append(out.Plans, p)
+	}
+	if r.off != len(b) {
+		return nil, fmt.Errorf("adapt: %d trailing bytes after plan batch", len(b)-r.off)
+	}
+	return out, nil
+}
+
+// planWireFixed is the encoded size of a plan minus its cavity list:
+// 4 (kind, flags, e, ndy) + 8 (prio) + 12 (t, v, keep) + 16 (pos) +
+// 24 (met) + 4 (cavity count) + 10 (patches) + 34 (dying refs).
+const planWireFixed = 112
+
+// wireBytes is the serialized size of the batch, charged to the
+// communication-volume statistics by SendRef.
+func (b *planBatch) wireBytes() int {
+	n := 8
+	for _, p := range b.Plans {
+		n += planWireFixed + 4*len(p.Cav)
+	}
+	return n
+}

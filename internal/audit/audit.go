@@ -203,6 +203,23 @@ func Structural() []Check {
 	return []Check{orientationCheck{}, conformityCheck{}, boundaryCheck{}}
 }
 
+// Adapted returns the profile for metric-adapted meshes: everything in
+// All except the Delaunay empty-circumcircle check. Anisotropic
+// adaptation deliberately trades the Delaunay property for metric
+// conformity — stretched elements violate the Euclidean circumcircle
+// criterion by design — while every structural and domain invariant must
+// still hold.
+func Adapted() []Check {
+	var out []Check
+	for _, c := range All() {
+		if c.Name() == "delaunay" {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
 // ByName resolves a comma-separated check selection against the registry.
 func ByName(names string) ([]Check, error) {
 	var out []Check
@@ -281,13 +298,13 @@ type Snapshot struct {
 	SkipDelaunay bool
 
 	prepared  bool
-	adj       [][3]int32             // neighbor across edge e of each triangle, -1 boundary
-	edgeUse   map[pointEdge]int      // undirected incidence count by coordinates
-	pathSet   map[pointEdge]bool     // constrained path edges by coordinates
-	pointIdx  map[geom.Point]int32   // first index of each coordinate
-	surfaceV  map[geom.Point]bool    // refined surface vertices of all layers
-	boundary  [][2]int32             // directed boundary edges
-	boundaryT map[[2]int32]int32     // boundary edge -> owning triangle
+	adj       [][3]int32           // neighbor across edge e of each triangle, -1 boundary
+	edgeUse   map[pointEdge]int    // undirected incidence count by coordinates
+	pathSet   map[pointEdge]bool   // constrained path edges by coordinates
+	pointIdx  map[geom.Point]int32 // first index of each coordinate
+	surfaceV  map[geom.Point]bool  // refined surface vertices of all layers
+	boundary  [][2]int32           // directed boundary edges
+	boundaryT map[[2]int32]int32   // boundary edge -> owning triangle
 }
 
 // Prepare builds the shared lookup structures every check reads. It is

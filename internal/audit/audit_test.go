@@ -425,3 +425,32 @@ func TestReportError(t *testing.T) {
 		t.Errorf("clean report produced error %v", clean.Error())
 	}
 }
+
+func TestAdaptedProfile(t *testing.T) {
+	names := map[string]bool{}
+	for _, c := range Adapted() {
+		names[c.Name()] = true
+	}
+	if names["delaunay"] {
+		t.Fatal("Adapted profile includes the delaunay check")
+	}
+	if len(Adapted()) != len(All())-1 {
+		t.Fatalf("Adapted has %d checks, want %d", len(Adapted()), len(All())-1)
+	}
+	for _, want := range []string{"orientation", "conformity", "boundary"} {
+		if !names[want] {
+			t.Fatalf("Adapted profile missing %q", want)
+		}
+	}
+	// A structurally sound but non-Delaunay mesh (anisotropic-style sliver
+	// pair) must pass Adapted and fail All under strict mode.
+	m := &mesh.Mesh{
+		Points: []geom.Point{
+			{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 0.05}, {X: 0, Y: 0.05},
+		},
+		Triangles: [][3]int32{{0, 1, 2}, {0, 2, 3}},
+	}
+	if rep := Run(&Snapshot{Mesh: m, StrictDelaunay: true}, Adapted()); !rep.Ok() {
+		t.Fatalf("adapted profile rejected a structurally sound mesh: %+v", rep)
+	}
+}

@@ -53,3 +53,10 @@ func Fig08Points() ([]geom.Point, error) {
 func Fig08Options() project.Options {
 	return project.Options{MinVerts: 2, MaxDepth: 7}
 }
+
+// AdaptMetric is the analytic boundary-layer metric spec the adaptation
+// benchmarks drive the PushButton mesh toward: a stretch field off the
+// chord with 0.02 normal spacing at the wall relaxing to isotropic 0.3.
+// It lives here so BenchmarkPushButtonAdapt and cmd/benchreport measure
+// the identical workload.
+const AdaptMetric = "bl:x0=0,y0=0,x1=1,y1=0,hn=0.02,ht=0.3,grow=0.6"

@@ -1,0 +1,270 @@
+package metric
+
+import (
+	"fmt"
+	"math"
+
+	"pamg2d/internal/geom"
+	"pamg2d/internal/mesh"
+	"pamg2d/internal/solver"
+)
+
+// Field is a per-vertex metric field over a mesh, indexed like
+// mesh.Mesh.Points.
+type Field []M
+
+// Analytic samples an analytic metric function at every mesh vertex.
+func Analytic(m *mesh.Mesh, f func(geom.Point) M) Field {
+	out := make(Field, len(m.Points))
+	for i, p := range m.Points {
+		out[i] = f(p)
+	}
+	return out
+}
+
+// Uniform returns the constant isotropic field with spacing h.
+func Uniform(m *mesh.Mesh, h float64) Field {
+	out := make(Field, len(m.Points))
+	iso := Iso(h)
+	for i := range out {
+		out[i] = iso
+	}
+	return out
+}
+
+// HessianOpts tunes Hessian-based metric construction.
+type HessianOpts struct {
+	// Err is the target interpolation error: eigenvalues are |H|/Err, so
+	// halving Err doubles the resolution everywhere. Default 0.01 of the
+	// solution range.
+	Err float64
+	// HMin, HMax clamp the principal spacings; defaults 1e-4 and 0.25 of
+	// the mesh bounding-box diameter.
+	HMin, HMax float64
+	// MaxAspect clamps the anisotropy ratio; default 100.
+	MaxAspect float64
+}
+
+func (o *HessianOpts) defaults(m *mesh.Mesh, u []float64) {
+	bb := geom.BBoxOf(m.Points)
+	diam := math.Hypot(bb.Width(), bb.Height())
+	if diam == 0 {
+		diam = 1
+	}
+	if o.Err <= 0 {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range u {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		span := hi - lo
+		if span <= 0 || math.IsInf(span, 0) {
+			span = 1
+		}
+		o.Err = 0.01 * span
+	}
+	if o.HMin <= 0 {
+		o.HMin = 1e-4 * diam
+	}
+	if o.HMax <= 0 {
+		o.HMax = 0.25 * diam
+	}
+	if o.MaxAspect <= 1 {
+		o.MaxAspect = 100
+	}
+}
+
+// FromHessian builds the classical interpolation-error metric
+// M = |H(u)|/err from a cell-centered solution field: the Hessian is
+// recovered by applying the Green-Gauss gradient operator twice
+// (gradient of each gradient component), the per-cell tensors are
+// symmetrized and area-weight averaged to the vertices, and each vertex
+// tensor is made definite (absolute eigenvalues) and clamped per opt.
+func FromHessian(m *mesh.Mesh, u []float64, opt HessianOpts) (Field, error) {
+	opt.defaults(m, u)
+	g, err := solver.Gradients(m, u)
+	if err != nil {
+		return nil, fmt.Errorf("metric: hessian recovery: %w", err)
+	}
+	nc := len(m.Triangles)
+	gx := make([]float64, nc)
+	gy := make([]float64, nc)
+	for i, v := range g {
+		gx[i], gy[i] = v.X, v.Y
+	}
+	ggx, err := solver.Gradients(m, gx)
+	if err != nil {
+		return nil, fmt.Errorf("metric: hessian recovery: %w", err)
+	}
+	ggy, err := solver.Gradients(m, gy)
+	if err != nil {
+		return nil, fmt.Errorf("metric: hessian recovery: %w", err)
+	}
+
+	// Area-weighted average of the symmetrized cell Hessians at each
+	// vertex.
+	hxx := make([]float64, len(m.Points))
+	hxy := make([]float64, len(m.Points))
+	hyy := make([]float64, len(m.Points))
+	wsum := make([]float64, len(m.Points))
+	for i, t := range m.Triangles {
+		a, b, c := m.Points[t[0]], m.Points[t[1]], m.Points[t[2]]
+		w := math.Abs(geom.TriangleArea(a, b, c))
+		cxx := ggx[i].X
+		cxy := (ggx[i].Y + ggy[i].X) / 2
+		cyy := ggy[i].Y
+		for _, v := range t {
+			hxx[v] += w * cxx
+			hxy[v] += w * cxy
+			hyy[v] += w * cyy
+			wsum[v] += w
+		}
+	}
+
+	out := make(Field, len(m.Points))
+	for v := range out {
+		h := M{XX: hxx[v], XY: hxy[v], YY: hyy[v]}
+		if wsum[v] > 0 {
+			h = h.scale(1 / wsum[v])
+		}
+		// |H|/err, with absolute eigenvalues so saddle features refine
+		// like extrema do.
+		am := h.mapEigen(func(l float64) float64 { return math.Abs(l) / opt.Err })
+		out[v] = am.Clamp(opt.HMin, opt.HMax, opt.MaxAspect)
+	}
+	return out, nil
+}
+
+// LimitGradation bounds how fast the field's prescribed spacing may grow
+// along mesh edges (Alauzet's edge-wise scheme): for each edge pq, p's
+// metric is "grown" across the edge — spacings multiplied by
+// (1 + l_M(pq)·ln β) — and intersected into q's metric, and vice versa.
+// Sweeps repeat until a fixpoint (no tensor tightened by more than a
+// relative epsilon) or maxSweeps. β must exceed 1; the number of sweeps
+// performed is returned.
+func LimitGradation(m *mesh.Mesh, f Field, beta float64, maxSweeps int) (int, error) {
+	if len(f) != len(m.Points) {
+		return 0, fmt.Errorf("metric: %d tensors for %d vertices", len(f), len(m.Points))
+	}
+	if beta <= 1 {
+		return 0, fmt.Errorf("metric: gradation beta %g must exceed 1", beta)
+	}
+	if maxSweeps <= 0 {
+		maxSweeps = 8
+	}
+	lnb := math.Log(beta)
+	edges := meshEdges(m)
+	for s := 0; s < maxSweeps; s++ {
+		changed := false
+		for _, e := range edges {
+			p, q := e[0], e[1]
+			if spanIntersect(m, f, p, q, lnb) {
+				changed = true
+			}
+			if spanIntersect(m, f, q, p, lnb) {
+				changed = true
+			}
+		}
+		if !changed {
+			return s + 1, nil
+		}
+	}
+	return maxSweeps, nil
+}
+
+// spanIntersect grows f[p] across the edge p→q and intersects it into
+// f[q], reporting whether q's tensor tightened.
+func spanIntersect(m *mesh.Mesh, f Field, p, q int32, lnb float64) bool {
+	v := m.Points[q].Sub(m.Points[p])
+	l := f[p].Len(v)
+	grow := 1 + l*lnb
+	// Growing spacings by `grow` divides eigenvalues by grow².
+	spanned := f[p].scale(1 / (grow * grow))
+	merged := Intersect(f[q], spanned)
+	const eps = 1e-9
+	if math.Abs(merged.XX-f[q].XX) <= eps*math.Abs(f[q].XX) &&
+		math.Abs(merged.XY-f[q].XY) <= eps*(math.Abs(f[q].XY)+eps) &&
+		math.Abs(merged.YY-f[q].YY) <= eps*math.Abs(f[q].YY) {
+		return false
+	}
+	f[q] = merged
+	return true
+}
+
+// meshEdges returns each undirected mesh edge once.
+func meshEdges(m *mesh.Mesh) [][2]int32 {
+	adj := m.Adjacency()
+	var out [][2]int32
+	for i, t := range m.Triangles {
+		for e := 0; e < 3; e++ {
+			if nb := adj[i][e]; nb >= 0 && nb < int32(i) {
+				continue
+			}
+			out = append(out, [2]int32{t[e], t[(e+1)%3]})
+		}
+	}
+	return out
+}
+
+// Stats summarizes a mesh's edge population in metric space.
+type Stats struct {
+	Edges   int
+	MinLen  float64
+	MaxLen  float64
+	MeanLen float64
+	// InBand is the fraction of edges with metric length in
+	// [1/band, band].
+	InBand float64
+	// Aspect histogram: bucket i counts vertices with anisotropy ratio in
+	// [2^i, 2^(i+1)); the last bucket is open-ended.
+	AspectHist           [8]int
+	MinAspect, MaxAspect float64
+	MeanAspect           float64
+}
+
+// FieldStats measures the mesh's edges and the field's anisotropy under
+// the per-vertex field f. band defaults to √2.
+func FieldStats(m *mesh.Mesh, f Field, band float64) (Stats, error) {
+	if len(f) != len(m.Points) {
+		return Stats{}, fmt.Errorf("metric: %d tensors for %d vertices", len(f), len(m.Points))
+	}
+	if band <= 1 {
+		band = math.Sqrt2
+	}
+	st := Stats{MinLen: math.Inf(1), MaxLen: math.Inf(-1), MinAspect: math.Inf(1), MaxAspect: math.Inf(-1)}
+	in := 0
+	for _, e := range meshEdges(m) {
+		p, q := e[0], e[1]
+		l := EdgeLen(m.Points[p], m.Points[q], f[p], f[q])
+		st.Edges++
+		st.MeanLen += l
+		st.MinLen = math.Min(st.MinLen, l)
+		st.MaxLen = math.Max(st.MaxLen, l)
+		if l >= 1/band && l <= band {
+			in++
+		}
+	}
+	if st.Edges > 0 {
+		st.MeanLen /= float64(st.Edges)
+		st.InBand = float64(in) / float64(st.Edges)
+	} else {
+		st.MinLen, st.MaxLen = 0, 0
+	}
+	for _, t := range f {
+		a := t.Aspect()
+		st.MeanAspect += a
+		st.MinAspect = math.Min(st.MinAspect, a)
+		st.MaxAspect = math.Max(st.MaxAspect, a)
+		b := 0
+		for a >= 2 && b < len(st.AspectHist)-1 {
+			a /= 2
+			b++
+		}
+		st.AspectHist[b]++
+	}
+	if len(f) > 0 {
+		st.MeanAspect /= float64(len(f))
+	} else {
+		st.MinAspect, st.MaxAspect = 0, 0
+	}
+	return st, nil
+}

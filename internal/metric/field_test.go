@@ -1,0 +1,149 @@
+package metric
+
+import (
+	"math"
+	"testing"
+
+	"pamg2d/internal/geom"
+	"pamg2d/internal/mesh"
+)
+
+// grid builds an n×n structured triangulation of the unit square.
+func grid(t testing.TB, n int) *mesh.Mesh {
+	t.Helper()
+	b := mesh.NewBuilder()
+	h := 1.0 / float64(n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			x0, y0 := float64(i)*h, float64(j)*h
+			x1, y1 := x0+h, y0+h
+			b.AddTriangle(geom.Pt(x0, y0), geom.Pt(x1, y0), geom.Pt(x1, y1))
+			b.AddTriangle(geom.Pt(x0, y0), geom.Pt(x1, y1), geom.Pt(x0, y1))
+		}
+	}
+	m := b.Mesh()
+	if err := m.Audit(); err != nil {
+		t.Fatalf("grid mesh: %v", err)
+	}
+	return m
+}
+
+func cellCentered(m *mesh.Mesh, f func(geom.Point) float64) []float64 {
+	u := make([]float64, len(m.Triangles))
+	for i, tr := range m.Triangles {
+		a, b, c := m.Points[tr[0]], m.Points[tr[1]], m.Points[tr[2]]
+		u[i] = f(geom.Pt((a.X+b.X+c.X)/3, (a.Y+b.Y+c.Y)/3))
+	}
+	return u
+}
+
+func TestFromHessianQuadratic(t *testing.T) {
+	m := grid(t, 16)
+	// u = 4x²: H = diag(8, 0); the metric must resolve x much harder
+	// than y at interior vertices.
+	u := cellCentered(m, func(p geom.Point) float64 { return 4 * p.X * p.X })
+	f, err := FromHessian(m, u, HessianOpts{Err: 0.1, HMin: 1e-4, HMax: 10, MaxAspect: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != len(m.Points) {
+		t.Fatalf("%d tensors for %d points", len(f), len(m.Points))
+	}
+	checked := 0
+	for i, p := range m.Points {
+		if p.X < 0.3 || p.X > 0.7 || p.Y < 0.3 || p.Y > 0.7 {
+			continue // boundary-affected recovery
+		}
+		checked++
+		l1, _, v1 := f[i].Eigen()
+		if !f[i].SPD() {
+			t.Fatalf("vertex %d: tensor %+v not SPD", i, f[i])
+		}
+		// Dominant eigenvalue ≈ 8/0.1 = 80, direction ≈ x.
+		if l1 < 40 || l1 > 160 {
+			t.Errorf("vertex %d %v: l1 = %g, want ≈80", i, p, l1)
+		}
+		if math.Abs(v1.X) < 0.9 {
+			t.Errorf("vertex %d %v: principal direction %v, want ≈x-axis", i, p, v1)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no interior vertices checked")
+	}
+}
+
+func TestFromHessianMismatch(t *testing.T) {
+	m := grid(t, 4)
+	if _, err := FromHessian(m, make([]float64, 3), HessianOpts{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestLimitGradation(t *testing.T) {
+	m := grid(t, 8)
+	// Uniform coarse field with one extremely fine vertex.
+	f := Uniform(m, 0.5)
+	f[0] = Iso(0.001)
+	beta := 1.5
+	sweeps, err := LimitGradation(m, f, beta, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweeps < 1 {
+		t.Fatalf("sweeps = %d", sweeps)
+	}
+	// Every edge must respect the growth bound in each direction:
+	// h_q(v) <= (1 + l_p(v)·ln β)·h_p(v), where l_p(v) is the edge
+	// length under the source vertex's metric and h ratios along v are
+	// inverse length ratios.
+	lnb := math.Log(beta)
+	for _, e := range meshEdges(m) {
+		p, q := e[0], e[1]
+		v := m.Points[q].Sub(m.Points[p])
+		lp, lq := f[p].Len(v), f[q].Len(v)
+		if lp/lq > (1+lp*lnb)*1.05 {
+			t.Fatalf("edge %v–%v: growth %g exceeds bound %g", p, q, lp/lq, 1+lp*lnb)
+		}
+		if lq/lp > (1+lq*lnb)*1.05 {
+			t.Fatalf("edge %v–%v: growth %g exceeds bound %g", q, p, lq/lp, 1+lq*lnb)
+		}
+	}
+	// Gradation only tightens: no tensor may prescribe a larger spacing
+	// than the original coarse field.
+	for i, tens := range f {
+		l1, l2, _ := tens.Eigen()
+		if l2 < Iso(0.5).XX-1e-9 {
+			t.Fatalf("vertex %d: eigenvalue %g below original %g (l1 %g)", i, l2, Iso(0.5).XX, l1)
+		}
+	}
+	if _, err := LimitGradation(m, f, 0.9, 4); err == nil {
+		t.Fatal("beta < 1 accepted")
+	}
+}
+
+func TestFieldStats(t *testing.T) {
+	m := grid(t, 4)
+	// Uniform spacing equal to the grid pitch: horizontal and vertical
+	// edges have metric length exactly 1, diagonals √2 — everything in
+	// band.
+	f := Uniform(m, 0.25)
+	st, err := FieldStats(m, f, math.Sqrt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Edges == 0 {
+		t.Fatal("no edges measured")
+	}
+	if st.InBand < 0.999 {
+		t.Fatalf("InBand = %g, want 1 (min %g max %g)", st.InBand, st.MinLen, st.MaxLen)
+	}
+	if st.MinLen < 0.999 || st.MaxLen > math.Sqrt2+1e-9 {
+		t.Fatalf("length range [%g, %g] unexpected", st.MinLen, st.MaxLen)
+	}
+	if st.AspectHist[0] != len(m.Points) {
+		t.Fatalf("isotropic field: AspectHist = %v, want all %d in bucket 0", st.AspectHist, len(m.Points))
+	}
+	if _, err := FieldStats(m, f[:1], 0); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}

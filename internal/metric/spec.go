@@ -1,0 +1,97 @@
+package metric
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"pamg2d/internal/geom"
+)
+
+// ParseSpec parses an analytic metric specification of the form
+// "kind:key=val,key=val,...". Two kinds are supported:
+//
+//	uniform:h=0.1
+//	    isotropic spacing h everywhere.
+//
+//	bl:x0=0,y0=0,x1=1,y1=0,hn=0.01,ht=0.1,grow=1
+//	    boundary-layer stretch off the segment (x0,y0)–(x1,y1): the
+//	    normal spacing starts at hn on the segment and grows linearly
+//	    with distance d at rate grow until it reaches the tangential
+//	    spacing ht, i.e. h_normal(d) = min(hn + grow·d, ht); beyond
+//	    that the field is isotropic at ht. The stretch direction follows
+//	    the vector from the nearest segment point, so the field is
+//	    smooth around the segment's endpoints.
+//
+// The returned function is safe for concurrent use.
+func ParseSpec(spec string) (func(geom.Point) M, error) {
+	kind, rest, _ := strings.Cut(spec, ":")
+	kv := map[string]float64{}
+	if rest != "" {
+		for _, part := range strings.Split(rest, ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+			if !ok {
+				return nil, fmt.Errorf("metric: spec %q: want key=val, got %q", spec, part)
+			}
+			x, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+			if err != nil {
+				return nil, fmt.Errorf("metric: spec %q: %s: %w", spec, k, err)
+			}
+			kv[strings.TrimSpace(k)] = x
+		}
+	}
+	get := func(key string, def float64) float64 {
+		if v, ok := kv[key]; ok {
+			return v
+		}
+		return def
+	}
+	switch kind {
+	case "uniform":
+		h := get("h", 0.1)
+		if h <= 0 {
+			return nil, fmt.Errorf("metric: spec %q: h must be positive", spec)
+		}
+		iso := Iso(h)
+		return func(geom.Point) M { return iso }, nil
+	case "bl":
+		a := geom.Pt(get("x0", 0), get("y0", 0))
+		b := geom.Pt(get("x1", 1), get("y1", 0))
+		hn := get("hn", 0.01)
+		ht := get("ht", 0.1)
+		grow := get("grow", 1)
+		if hn <= 0 || ht <= 0 || grow <= 0 {
+			return nil, fmt.Errorf("metric: spec %q: hn, ht, grow must be positive", spec)
+		}
+		if hn > ht {
+			return nil, fmt.Errorf("metric: spec %q: hn %g exceeds ht %g", spec, hn, ht)
+		}
+		seg := b.Sub(a)
+		len2 := seg.Len2()
+		return func(p geom.Point) M {
+			// Nearest point on the segment.
+			t := 0.0
+			if len2 > 0 {
+				t = math.Min(1, math.Max(0, p.Sub(a).Dot(seg)/len2))
+			}
+			near := a.Add(seg.Scale(t))
+			off := p.Sub(near)
+			d := off.Len()
+			if d == 0 {
+				dir := geom.V(0, 1)
+				if len2 > 0 {
+					dir = seg.Perp().Unit()
+				}
+				return FromSpacings(hn, ht, dir)
+			}
+			h := hn + grow*d
+			if h >= ht {
+				return Iso(ht)
+			}
+			return FromSpacings(h, ht, off.Unit())
+		}, nil
+	default:
+		return nil, fmt.Errorf("metric: unknown spec kind %q (want uniform: or bl:)", kind)
+	}
+}
