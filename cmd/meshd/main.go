@@ -13,10 +13,13 @@
 //
 // Endpoints:
 //
-//	POST /mesh        geometry (named airfoil or inline .poly) + params → mesh
-//	GET  /metrics     engine-lifetime run/latency/cache counters (JSON)
-//	GET  /healthz     liveness + active-run count
-//	GET  /trace/{id}  Chrome trace export of a request sent with "trace":true
+//	POST /mesh          geometry (named airfoil or inline .poly) + params → mesh
+//	GET  /metrics       engine-lifetime run/latency/cache counters
+//	                    (Prometheus text by default; JSON via Accept or ?format=json)
+//	GET  /healthz       liveness + active-run count
+//	GET  /readyz        readiness (503 while draining on shutdown)
+//	GET  /trace/{id}    Chrome trace export of a request sent with "trace":true
+//	GET  /debug/pprof/  runtime profiles (only with -pprof)
 package main
 
 import (
@@ -24,6 +27,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -40,6 +45,36 @@ func main() {
 	}
 }
 
+// newLogger builds the service's structured logger, or nil (all logging
+// disabled) for level "off".
+func newLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	if level == "" || level == "off" {
+		return nil, nil
+	}
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q", format)
+	}
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("meshd", flag.ContinueOnError)
 	var (
@@ -50,8 +85,15 @@ func run(args []string) error {
 		queue       = fs.Int("queue", 8, "runs allowed to wait when saturated before 503 (-1 = none, 0 = unbounded)")
 		cacheSize   = fs.Int("cache", 64, "result-cache capacity in rendered meshes (-1 disables)")
 		maxTimeout  = fs.Duration("max-timeout", 2*time.Minute, "cap on any request's generation deadline")
+		logFormat   = fs.String("log-format", "text", "structured log format: text | json")
+		logLevel    = fs.String("log-level", "info", "log level: off | debug | info | warn | error")
+		enablePprof = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (exposes runtime internals; opt-in)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := newLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
 		return err
 	}
 
@@ -59,6 +101,7 @@ func run(args []string) error {
 		Ranks:         *ranks,
 		MaxConcurrent: *concurrency,
 		MaxQueue:      *queue,
+		Logger:        logger,
 	})
 	if err != nil {
 		return err
@@ -69,6 +112,8 @@ func run(args []string) error {
 		MaxTimeout:    *maxTimeout,
 		CacheSize:     *cacheSize,
 		KernelWorkers: *kernelW,
+		Logger:        logger,
+		EnablePprof:   *enablePprof,
 	})
 	hs := &http.Server{Addr: *listen, Handler: srv}
 
@@ -76,12 +121,23 @@ func run(args []string) error {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "meshd: serving on %s (%d ranks, concurrency %d)\n", *listen, eng.Ranks(), *concurrency)
+	if logger != nil {
+		logger.Info("serving", "listen", *listen, "ranks", eng.Ranks(),
+			"concurrency", *concurrency, "pprof", *enablePprof)
+	} else {
+		fmt.Fprintf(os.Stderr, "meshd: serving on %s (%d ranks, concurrency %d)\n", *listen, eng.Ranks(), *concurrency)
+	}
 
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+	}
+	// Flip readiness before closing the listener so orchestrators stop
+	// routing new work while in-flight requests drain.
+	srv.setReady(false)
+	if logger != nil {
+		logger.Info("shutting down", "active", eng.Active())
 	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

@@ -21,7 +21,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -170,6 +173,14 @@ type serverOptions struct {
 	// kernel_workers at 0; the server's engine sizes its shared pool
 	// independently.
 	KernelWorkers int
+	// Logger, when non-nil, receives a structured record per handler
+	// panic (request ID, path, stack). Request lifecycle records come
+	// from the engine's own logger; nil disables server-side logging.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints expose heap contents and must be
+	// opted into.
+	EnablePprof bool
 }
 
 // server is the HTTP layer over one shared engine.
@@ -180,6 +191,7 @@ type server struct {
 	traces *traceRing
 	mux    *http.ServeMux
 	nextID atomic.Int64
+	ready  atomic.Bool
 }
 
 func newServer(eng *core.Engine, opts serverOptions) *server {
@@ -190,6 +202,7 @@ func newServer(eng *core.Engine, opts serverOptions) *server {
 		opts.CacheSize = 64
 	}
 	s := &server{eng: eng, opts: opts, traces: newTraceRing(16)}
+	s.ready.Store(true)
 	if opts.CacheSize > 0 {
 		s.cache = newResultCache(opts.CacheSize)
 	}
@@ -197,11 +210,45 @@ func newServer(eng *core.Engine, opts serverOptions) *server {
 	s.mux.HandleFunc("/mesh", s.handleMesh)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/trace/", s.handleTrace)
+	if opts.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// setReady flips the /readyz answer; main turns it off when shutdown
+// begins so load balancers drain the instance before connections close.
+func (s *server) setReady(ready bool) { s.ready.Store(ready) }
+
+// ServeHTTP stamps every request with an ID and converts handler panics
+// into a 500 with a structured log record instead of a dropped
+// connection: one bad request must not look like a server crash to every
+// other client on the process.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	reqID := fmt.Sprintf("r%06d", s.nextID.Add(1))
+	w.Header().Set("X-Request-Id", reqID)
+	defer func() {
+		if p := recover(); p != nil {
+			s.eng.Metrics().Count("server.panics", 1)
+			if s.opts.Logger != nil {
+				s.opts.Logger.Error("handler panic",
+					"request_id", reqID, "method", r.Method, "path", r.URL.Path,
+					"panic", fmt.Sprint(p), "stack", string(debug.Stack()))
+			}
+			// Best-effort: if the handler already wrote a header this is a
+			// no-op on the status line, but the client still gets a body.
+			s.httpError(w, http.StatusInternalServerError,
+				fmt.Errorf("internal error (request %s)", reqID))
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
 
 // httpError writes a JSON error body with the given status and counts it.
 func (s *server) httpError(w http.ResponseWriter, status int, err error) {
@@ -353,8 +400,10 @@ func (s *server) handleMesh(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	reqID := fmt.Sprintf("r%06d", s.nextID.Add(1))
-	w.Header().Set("X-Request-Id", reqID)
+	// The request ID was assigned by ServeHTTP; reuse it as the run's
+	// correlation ID so engine log records and trace-ring entries share it.
+	reqID := w.Header().Get("X-Request-Id")
+	cfg.RunID = reqID
 
 	if e := s.cache.get(key); e != nil {
 		m.Count("server.cache.hits", 1)
@@ -445,11 +494,23 @@ func (s *server) writeEntry(w http.ResponseWriter, e *cacheEntry, cache string) 
 	_, _ = w.Write(e.body)
 }
 
+// handleMetrics exports the engine registry. The default is Prometheus
+// text exposition (0.0.4) for scrapers; the original JSON document stays
+// reachable via `Accept: application/json` or ?format=json.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m := s.eng.Metrics()
 	m.Gauge("server.engine.active", float64(s.eng.Active()))
-	w.Header().Set("Content-Type", "application/json")
-	if err := m.WriteMetrics(w); err != nil {
+	wantJSON := r.URL.Query().Get("format") == "json" ||
+		strings.Contains(r.Header.Get("Accept"), "application/json")
+	var err error
+	if wantJSON {
+		w.Header().Set("Content-Type", "application/json")
+		err = m.WriteMetrics(w)
+	} else {
+		w.Header().Set("Content-Type", trace.PromContentType)
+		err = m.WritePrometheus(w)
+	}
+	if err != nil {
 		s.httpError(w, http.StatusInternalServerError, err)
 	}
 }
@@ -459,6 +520,23 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(map[string]any{
 		"status": "ok",
 		"ranks":  s.eng.Ranks(),
+		"active": s.eng.Active(),
+	})
+}
+
+// handleReadyz distinguishes "alive" from "accepting work": it flips to
+// 503 when shutdown starts (setReady(false)) so orchestrators stop
+// routing to a draining instance, while /healthz keeps answering 200
+// until the process exits.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]any{"status": "draining"})
+		return
+	}
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status": "ready",
 		"active": s.eng.Active(),
 	})
 }

@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
@@ -118,16 +120,8 @@ func TestServeConcurrentAuditedCached(t *testing.T) {
 		t.Errorf("cached mesh differs from single-run output")
 	}
 
-	// And the hit shows up in the /metrics counters.
-	mresp, err := http.Get(ts.URL + "/metrics")
-	if err != nil {
-		t.Fatalf("GET /metrics: %v", err)
-	}
-	defer mresp.Body.Close()
-	var mj trace.MetricsJSON
-	if err := json.NewDecoder(mresp.Body).Decode(&mj); err != nil {
-		t.Fatalf("decode metrics: %v", err)
-	}
+	// And the hit shows up in the /metrics counters (JSON view).
+	mj := metricsJSON(t, ts.URL)
 	if mj.Counters["server.cache.hits"] < 1 {
 		t.Errorf("server.cache.hits = %d, want >= 1", mj.Counters["server.cache.hits"])
 	}
@@ -138,6 +132,211 @@ func TestServeConcurrentAuditedCached(t *testing.T) {
 		t.Errorf("engine.runs = %d, want 2 (cache hit must not re-run)", mj.Counters["engine.runs"])
 	}
 }
+
+// metricsJSON fetches the JSON view of /metrics via content negotiation.
+func metricsJSON(t *testing.T, baseURL string) trace.MetricsJSON {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, baseURL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/metrics with Accept: application/json returned Content-Type %q", ct)
+	}
+	var mj trace.MetricsJSON
+	if err := json.NewDecoder(resp.Body).Decode(&mj); err != nil {
+		t.Fatalf("decode metrics: %v", err)
+	}
+	return mj
+}
+
+// TestServeMetricsPrometheus: the default /metrics view is Prometheus
+// text exposition that passes the structural linter, with the registry's
+// counters present under the pamg2d_ namespace; ?format=json still
+// selects the JSON document.
+func TestServeMetricsPrometheus(t *testing.T) {
+	ts, _ := newTestServer(t, core.EngineConfig{Ranks: 1}, serverOptions{})
+	if resp, _ := postMesh(t, ts.URL, `{"geometry":"naca0012","n":16}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("mesh request: status %d", resp.StatusCode)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != trace.PromContentType {
+		t.Errorf("/metrics Content-Type = %q, want %q", ct, trace.PromContentType)
+	}
+	samples, err := trace.ValidatePrometheus(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("prometheus lint: %v\n%s", err, body)
+	}
+	if samples == 0 {
+		t.Fatal("prometheus export has no samples")
+	}
+	for _, want := range []string{"pamg2d_server_requests_total", "pamg2d_engine_runs_total", "pamg2d_server_request_seconds_bucket"} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("prometheus export lacks %s:\n%s", want, body)
+		}
+	}
+
+	jresp, err := http.Get(ts.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jresp.Body.Close()
+	var mj trace.MetricsJSON
+	if err := json.NewDecoder(jresp.Body).Decode(&mj); err != nil {
+		t.Fatalf("?format=json not a JSON registry: %v", err)
+	}
+	if mj.Counters["server.requests"] < 1 {
+		t.Errorf("JSON view server.requests = %d, want >= 1", mj.Counters["server.requests"])
+	}
+}
+
+// TestServeReadyz: /readyz answers ready while serving and flips to 503
+// draining after setReady(false), while /healthz stays 200 throughout.
+func TestServeReadyz(t *testing.T) {
+	eng, err := core.NewEngine(core.EngineConfig{Ranks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(eng, serverOptions{})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Close()
+	})
+
+	check := func(wantStatus int, wantState string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatalf("GET /readyz: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Errorf("/readyz status = %d, want %d", resp.StatusCode, wantStatus)
+		}
+		var body struct {
+			Status string `json:"status"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("decode readyz: %v", err)
+		}
+		if body.Status != wantState {
+			t.Errorf("/readyz state = %q, want %q", body.Status, wantState)
+		}
+	}
+	check(http.StatusOK, "ready")
+	srv.setReady(false)
+	check(http.StatusServiceUnavailable, "draining")
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz during drain: status %d, want 200", hresp.StatusCode)
+	}
+}
+
+// TestServePprofGating: the profiling endpoints exist only with
+// EnablePprof — a default server must not expose runtime internals.
+func TestServePprofGating(t *testing.T) {
+	off, _ := newTestServer(t, core.EngineConfig{Ranks: 1}, serverOptions{})
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without -pprof: status %d, want 404", resp.StatusCode)
+	}
+
+	on, _ := newTestServer(t, core.EngineConfig{Ranks: 1}, serverOptions{EnablePprof: true})
+	resp, err = http.Get(on.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof with -pprof: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestServePanicRecovery: a panicking handler becomes a 500 with a JSON
+// error body naming the request ID, a structured log record carrying the
+// same ID, and a bump of the server.panics counter — never a dropped
+// connection.
+func TestServePanicRecovery(t *testing.T) {
+	eng, err := core.NewEngine(core.EngineConfig{Ranks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logbuf bytes.Buffer
+	var logmu sync.Mutex
+	logw := writerFunc(func(p []byte) (int, error) {
+		logmu.Lock()
+		defer logmu.Unlock()
+		return logbuf.Write(p)
+	})
+	srv := newServer(eng, serverOptions{Logger: slog.New(slog.NewJSONHandler(logw, nil))})
+	srv.mux.HandleFunc("/boom", func(http.ResponseWriter, *http.Request) {
+		panic("injected handler panic")
+	})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Close()
+	})
+
+	resp, err := http.Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatalf("GET /boom: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("panicking handler: status %d, want 500", resp.StatusCode)
+	}
+	reqID := resp.Header.Get("X-Request-Id")
+	if reqID == "" {
+		t.Fatal("no X-Request-Id on panicking request")
+	}
+	var e map[string]string
+	if err := json.Unmarshal(body, &e); err != nil || !strings.Contains(e["error"], reqID) {
+		t.Errorf("error body %q does not name request %s", body, reqID)
+	}
+
+	logmu.Lock()
+	logged := logbuf.String()
+	logmu.Unlock()
+	if !strings.Contains(logged, "handler panic") || !strings.Contains(logged, reqID) ||
+		!strings.Contains(logged, "injected handler panic") {
+		t.Errorf("panic log record missing fields: %s", logged)
+	}
+
+	if mj := metricsJSON(t, ts.URL); mj.Counters["server.panics"] != 1 {
+		t.Errorf("server.panics = %d, want 1", mj.Counters["server.panics"])
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
 
 // TestServeTraceExport: a request with "trace": true deposits a Chrome
 // trace export retrievable at /trace/{id}.

@@ -29,9 +29,11 @@ const workerEnv = "MESHGEN_WORKER_EXEC"
 // launchTCP brings up the TCP fabric as rank 0: listen, spawn the
 // workers, accept them. spawn is the number of local worker processes to
 // fork (ranks-1 when negative; fewer means the remainder must join by
-// hand). The returned cleanup reaps the worker processes and must run
-// after the cluster is closed.
-func launchTCP(ctx context.Context, args []string, listen string, ranks, spawn int, stderr io.Writer) (*mpi.Cluster, func(), error) {
+// hand). runID, when non-empty, is forwarded to the workers so every
+// process of the run logs under one correlation ID (a trailing flag
+// wins over any earlier -run-id in args). The returned cleanup reaps
+// the worker processes and must run after the cluster is closed.
+func launchTCP(ctx context.Context, args []string, listen string, ranks, spawn int, runID string, stderr io.Writer) (*mpi.Cluster, func(), error) {
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return nil, nil, err
@@ -45,6 +47,9 @@ func launchTCP(ctx context.Context, args []string, listen string, ranks, spawn i
 		spawn = ranks - 1
 	}
 	workerArgs := append(append([]string{}, args...), "-worker", "-join", ln.Addr().String())
+	if runID != "" {
+		workerArgs = append(workerArgs, "-run-id", runID)
+	}
 	cmds := make([]*exec.Cmd, 0, spawn)
 	reap := func() {
 		for _, cmd := range cmds {

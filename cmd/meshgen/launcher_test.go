@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"net"
 	"os"
@@ -12,6 +13,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"pamg2d/internal/trace"
 )
 
 // TestMain doubles as the worker re-exec entry point: the launcher spawns
@@ -139,6 +142,114 @@ func TestRunTCPHandJoinedWorkers(t *testing.T) {
 	}
 	if !bytes.Equal(a, b) {
 		t.Errorf("hand-joined tcp mesh (%d bytes) differs from in-process mesh (%d bytes)", len(b), len(a))
+	}
+}
+
+// TestRunTCPMergedTrace is the distributed-telemetry acceptance gate: a
+// 2-rank TCP run with -trace and -metrics must produce ONE Chrome trace
+// spanning both processes — stage/task spans from each rank on its own
+// pid track, clock-offset metadata for every rank — that passes the
+// structural validator, plus a metrics document carrying the worker's
+// registry under a rank prefix.
+func TestRunTCPMergedTrace(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "run.trace.json")
+	metricsPath := filepath.Join(dir, "run.metrics.json")
+
+	args := []string{
+		"-n", "24", "-farfield", "6", "-ranks", "2",
+		"-h0", "0.08", "-hmax", "2", "-bl-h0", "3e-3", "-bl-layers", "8",
+		"-format", "binary", "-transport", "tcp", "-q",
+		"-o", filepath.Join(dir, "mesh.bin"),
+		"-trace", tracePath, "-metrics", metricsPath,
+	}
+	var errb bytes.Buffer
+	if err := run(context.Background(), args, &bytes.Buffer{}, &errb); err != nil {
+		t.Fatalf("tcp traced run: %v\n%s", err, errb.String())
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := trace.ValidateTrace(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("merged trace invalid: %v", err)
+	} else if n == 0 {
+		t.Fatal("merged trace has no events")
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		Metadata map[string]any `json:"metadata"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("merged trace not JSON: %v", err)
+	}
+	// Stage/task spans from both ranks, on distinct pid tracks. Rank r's
+	// worker track is pid r+1; the launcher's root pipeline track is pid 0.
+	spansByPid := map[int]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			spansByPid[ev.Pid]++
+		}
+	}
+	for _, pid := range []int{1, 2} {
+		if spansByPid[pid] == 0 {
+			t.Errorf("no spans on pid %d (rank %d): per-pid span counts %v", pid, pid-1, spansByPid)
+		}
+	}
+	if doc.Metadata["transport"] != "tcp" {
+		t.Errorf("trace metadata transport = %v, want tcp", doc.Metadata["transport"])
+	}
+	offsets, ok := doc.Metadata["clock_offsets_ns"].(map[string]any)
+	if !ok {
+		t.Fatalf("trace metadata lacks clock_offsets_ns: %v", doc.Metadata)
+	}
+	for _, rank := range []string{"0", "1"} {
+		if _, ok := offsets[rank]; !ok {
+			t.Errorf("no clock offset for rank %s: %v", rank, offsets)
+		}
+	}
+
+	// The metrics document must fold the worker's registry in under its
+	// rank prefix next to the launcher's own entries.
+	mf, err := os.Open(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	if err := trace.ValidateMetrics(mf); err != nil {
+		t.Fatalf("metrics document invalid: %v", err)
+	}
+	mraw, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(mraw, &metrics); err != nil {
+		t.Fatal(err)
+	}
+	var local, remote bool
+	for name := range metrics.Counters {
+		if strings.HasPrefix(name, "rank1.") {
+			remote = true
+		} else if !strings.HasPrefix(name, "rank") {
+			local = true
+		}
+	}
+	if !remote {
+		t.Errorf("no rank1.-prefixed counters in merged metrics: %v", metrics.Counters)
+	}
+	if !local {
+		t.Errorf("no launcher-local counters in merged metrics: %v", metrics.Counters)
 	}
 }
 

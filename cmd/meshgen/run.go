@@ -1,10 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -53,6 +55,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		traceOut   = fs.String("trace", "", "write a Chrome trace-event file of the run (load in Perfetto / chrome://tracing)")
 		metricsOut = fs.String("metrics", "", "write the run-metrics registry (counters/gauges/histograms) as JSON")
 		timeout    = fs.Duration("timeout", 0, "abort generation after this duration (0 = no limit)")
+		logFormat  = fs.String("log-format", "text", "structured log format: text | json")
+		logLevel   = fs.String("log-level", "off", "engine log level: off | debug | info | warn | error")
+		runID      = fs.String("run-id", "", "run correlation ID stamped on logs and stats (default: engine-assigned when observability is on)")
 		adaptN     = fs.Int("adapt-cycles", 0, "metric-adaptation cycles after generation (0 = off)")
 		adaptMet   = fs.String("adapt-metric", "hessian", "metric source: hessian | a metric spec (uniform:h=… | bl:…)")
 		adaptIso   = fs.Bool("adapt-iso", false, "adapt with the isotropic indicator loop (full regeneration per cycle) instead of the cavity-operator engine")
@@ -65,6 +70,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	// A worker whose launcher asked for a trace or metrics file records
+	// its own rank locally and ships the snapshot to rank 0 at the end of
+	// the run; the flag values themselves are cleared below so workers
+	// never write launcher-owned artifacts.
+	wantTelemetry := *worker && (*traceOut != "" || *metricsOut != "")
 	if *worker {
 		// Workers run the identical SPMD pipeline but produce no artifacts
 		// of their own: the launcher owns the mesh, the stats, and every
@@ -73,6 +83,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("-worker requires -join <launcher address>")
 		}
 		*cpuProf, *memProf, *traceOut, *metricsOut, *writePoly = "", "", "", "", ""
+	}
+	logger, err := newLogger(stderr, *logFormat, *logLevel)
+	if err != nil {
+		return err
 	}
 
 	if *cpuProf != "" {
@@ -163,6 +177,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown kernel %q", *kernel)
 	}
 
+	cfg.RunID = *runID
 	var fabric *mpi.Cluster
 	switch {
 	case *worker:
@@ -173,12 +188,38 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		defer cluster.Close()
 		cfg.Fabric = cluster
 		cfg.Ranks = cluster.Size()
+		if logger != nil {
+			cfg.Logger = logger.With("rank", cluster.Rank())
+		}
+		var workerTracer *trace.Tracer
+		if wantTelemetry {
+			workerTracer = trace.New(cfg.Ranks)
+			cfg.Tracer = workerTracer
+			// Pings from the launcher read this clock, so the measured
+			// offsets convert worker trace timestamps directly.
+			cluster.SetNowFunc(workerTracer.Now)
+		}
+		poolGets0, poolPuts0 := mpi.PoolCounters()
 		if _, err := core.GenerateContext(ctx, cfg); err != nil {
 			return err
 		}
+		if workerTracer != nil {
+			foldPoolGauges(workerTracer.Metrics(), poolGets0, poolPuts0)
+			// Ship before the finalize barrier: FIFO frame delivery means
+			// the launcher holds this snapshot once the barrier releases.
+			if err := cluster.SendTelemetry(workerTracer.Export(cluster.Rank())); err != nil {
+				return err
+			}
+		}
 		return finalizeTCP(ctx, cluster)
 	case *transport == "tcp":
-		cluster, reap, err := launchTCP(ctx, args, *listen, *ranks, *spawn, stderr)
+		// One correlation ID for the whole process tree: assign before the
+		// workers fork so they inherit it on their command line.
+		if *runID == "" && (logger != nil || *traceOut != "" || *metricsOut != "") {
+			*runID = fmt.Sprintf("meshgen-%d", os.Getpid())
+			cfg.RunID = *runID
+		}
+		cluster, reap, err := launchTCP(ctx, args, *listen, *ranks, *spawn, *runID, stderr)
 		if err != nil {
 			return err
 		}
@@ -186,34 +227,74 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		defer cluster.Close()
 		cfg.Fabric = cluster
 		fabric = cluster
+		if logger != nil {
+			cfg.Logger = logger.With("rank", 0)
+		}
 	case *transport != "inproc":
 		return fmt.Errorf("unknown transport %q", *transport)
+	default:
+		if logger != nil {
+			cfg.Logger = logger
+		}
 	}
 
 	var tracer *trace.Tracer
 	if *traceOut != "" || *metricsOut != "" {
 		tracer = trace.New(cfg.Ranks)
 		cfg.Tracer = tracer
+		if fabric != nil {
+			fabric.SetNowFunc(tracer.Now)
+		}
 	}
 	poolGets0, poolPuts0 := mpi.PoolCounters()
 
 	res, err := core.GenerateContext(ctx, cfg)
+	var clocks []mpi.ClockSync
 	if err == nil && fabric != nil {
-		err = finalizeTCP(ctx, fabric)
+		if tracer != nil {
+			// Measure before the finalize barrier: workers answer pings on
+			// their reader goroutines even while blocked in the barrier, and
+			// their tracer clocks are still the installed now-funcs.
+			if clocks, err = fabric.MeasureOffsets(ctx, 5); err != nil {
+				err = fmt.Errorf("clock sync: %w", err)
+			}
+		}
+		if err == nil {
+			err = finalizeTCP(ctx, fabric)
+		}
 	}
 
 	// Export the trace and metrics even when generation failed: the
 	// partial record of an aborted run is usually the record being
 	// debugged. The generation error still wins the exit status.
+	var telems []*trace.Telemetry
 	if tracer != nil {
-		g, p := mpi.PoolCounters()
-		m := tracer.Metrics()
-		m.Gauge("mpi.pool.gets", float64(g-poolGets0))
-		m.Gauge("mpi.pool.puts", float64(p-poolPuts0))
-		if g > poolGets0 {
-			m.Gauge("mpi.pool.recycle_rate", float64(p-poolPuts0)/float64(g-poolGets0))
+		foldPoolGauges(tracer.Metrics(), poolGets0, poolPuts0)
+		var rankClocks []trace.RankClock
+		transport := ""
+		if fabric != nil {
+			transport = fabric.TransportName()
+			for _, item := range fabric.Telemetry() {
+				tel, ok := item.Payload.(*trace.Telemetry)
+				if !ok {
+					continue
+				}
+				telems = append(telems, tel)
+				// Worker registries land under a rank prefix so per-rank
+				// totals stay distinguishable in the merged document.
+				tracer.Metrics().MergeSnapshot(fmt.Sprintf("rank%d.", tel.Rank), tel.Metrics)
+			}
+			for _, cs := range clocks {
+				rankClocks = append(rankClocks, trace.RankClock{
+					Rank: cs.Rank, OffsetNS: cs.OffsetNS, RTTNS: cs.RTTNS,
+				})
+			}
 		}
-		if werr := writeObservability(tracer, *traceOut, *metricsOut); werr != nil {
+		// The local snapshot is exported after the metric folds above so
+		// the metrics file carries every rank; it sorts to the front of the
+		// merged trace by host rank.
+		telems = append(telems, tracer.Export(0))
+		if werr := writeObservability(tracer, *traceOut, *metricsOut, telems, rankClocks, transport); werr != nil {
 			if err == nil {
 				err = werr
 			} else {
@@ -281,6 +362,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stderr, "steals               %d of %d requests granted, %v total idle\n",
 				st.Steals.Granted, st.Steals.Requests, st.Steals.Idle.Round(1e6))
 		}
+		if tracer != nil && fabric != nil {
+			var maxOff int64
+			for _, cs := range clocks {
+				if off := cs.OffsetNS; off < 0 {
+					off = -off
+					if off > maxOff {
+						maxOff = off
+					}
+				} else if off > maxOff {
+					maxOff = off
+				}
+			}
+			fmt.Fprintf(stderr, "telemetry            %d rank snapshots merged, max |clock offset| %dns\n",
+				len(telems), maxOff)
+		}
 		if st.Audit != nil {
 			checked := 0
 			for _, c := range st.Audit.Checks {
@@ -312,27 +408,79 @@ func finalizeTCP(ctx context.Context, cluster *mpi.Cluster) error {
 	return berr
 }
 
-// writeObservability exports the tracer's Chrome trace-event file and/or
-// run-metrics registry to the requested paths (either may be empty).
-func writeObservability(tr *trace.Tracer, tracePath, metricsPath string) error {
-	write := func(path string, emit func(w io.Writer) error) error {
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		if err := emit(f); err != nil {
-			f.Close()
-			return err
-		}
-		return f.Close()
+// newLogger builds the CLI's slog logger from the -log-format and
+// -log-level flags. Level "off" (the default) returns nil — the fully
+// disabled path, with no handler allocated and no slog calls made.
+func newLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	if level == "" || level == "off" {
+		return nil, nil
 	}
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q", format)
+	}
+}
+
+// foldPoolGauges records the process's mpi buffer-pool traffic since the
+// recorded baseline into the registry, on the launcher and every worker
+// alike.
+func foldPoolGauges(m *trace.Metrics, gets0, puts0 int64) {
+	g, p := mpi.PoolCounters()
+	m.Gauge("mpi.pool.gets", float64(g-gets0))
+	m.Gauge("mpi.pool.puts", float64(p-puts0))
+	if g > gets0 {
+		m.Gauge("mpi.pool.recycle_rate", float64(p-puts0)/float64(g-gets0))
+	}
+}
+
+// writeObservability exports the merged Chrome trace-event file and/or
+// run-metrics registry to the requested paths (either may be empty).
+// telems carries one snapshot per process — just the local export for
+// single-process runs — and clocks/transport feed the trace metadata.
+// The merged trace is validated before it touches disk, so a defect in
+// the merge surfaces as a run error instead of a file Perfetto rejects.
+func writeObservability(tr *trace.Tracer, tracePath, metricsPath string,
+	telems []*trace.Telemetry, clocks []trace.RankClock, transport string) error {
 	if tracePath != "" {
-		if err := write(tracePath, tr.WriteTrace); err != nil {
+		var buf bytes.Buffer
+		if err := trace.WriteMergedTrace(&buf, telems, clocks, transport); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+		if _, err := trace.ValidateTrace(bytes.NewReader(buf.Bytes())); err != nil {
+			return fmt.Errorf("merged trace failed validation: %w", err)
+		}
+		if err := os.WriteFile(tracePath, buf.Bytes(), 0o644); err != nil {
 			return fmt.Errorf("write trace: %w", err)
 		}
 	}
 	if metricsPath != "" {
-		if err := write(metricsPath, tr.Metrics().WriteMetrics); err != nil {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return fmt.Errorf("write metrics: %w", err)
+		}
+		if err := tr.Metrics().WriteMetrics(f); err != nil {
+			f.Close()
+			return fmt.Errorf("write metrics: %w", err)
+		}
+		if err := f.Close(); err != nil {
 			return fmt.Errorf("write metrics: %w", err)
 		}
 	}

@@ -8,7 +8,10 @@
 //
 // With -once it sends a single request and streams the mesh body to
 // stdout (exit 1 on any non-200), which is how the CI smoke pipes a
-// served mesh through `meshcheck -strict`.
+// served mesh through `meshcheck -strict`. With -metrics it also writes
+// the client-side view — request-latency histogram, per-status and
+// cache-hit counters — as a standard pamg2d-metrics/1 registry, the
+// same schema meshd's /metrics exports.
 package main
 
 import (
@@ -23,6 +26,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"pamg2d/internal/trace"
 )
 
 // summary is the machine-readable result; field names are the contract
@@ -62,6 +67,7 @@ func run(args []string) error {
 		timeout     = fs.Duration("timeout", 2*time.Minute, "per-request client timeout")
 		once        = fs.Bool("once", false, "send one request, stream the mesh body to stdout")
 		save        = fs.String("save", "", "also write the JSON summary to this file")
+		metricsOut  = fs.String("metrics", "", "write a client-side metrics registry (latency histogram, status counters) to this JSON file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -107,6 +113,12 @@ func run(args []string) error {
 		return err
 	}
 
+	// The client-side registry mirrors what the server's /metrics sees from
+	// its end: the same schema the engine exports, so benchreport and the
+	// validators consume both without special cases. Always populated; only
+	// written with -metrics.
+	reg := trace.NewMetrics()
+
 	var (
 		mu        sync.Mutex
 		latencies []time.Duration
@@ -139,23 +151,31 @@ func run(args []string) error {
 				b, err := body(int(i))
 				if err != nil {
 					errs.Add(1)
+					reg.Count("load.errors", 1)
 					continue
 				}
+				reg.Count("load.requests", 1)
 				t0 := time.Now()
 				resp, err := client.Post(*url+"/mesh", "application/json", bytes.NewReader(b))
 				if err != nil {
 					errs.Add(1)
+					reg.Count("load.errors", 1)
+					reg.Count("load.transport_errors", 1)
 					continue
 				}
 				_, _ = io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
 				dt := time.Since(t0)
+				reg.Count(fmt.Sprintf("load.status.%d", resp.StatusCode), 1)
+				reg.Observe("load.request.seconds", dt.Seconds())
 				if resp.StatusCode != http.StatusOK {
 					errs.Add(1)
+					reg.Count("load.errors", 1)
 					continue
 				}
 				if resp.Header.Get("X-Cache") == "hit" {
 					hits.Add(1)
+					reg.Count("load.cache_hits", 1)
 				}
 				mu.Lock()
 				latencies = append(latencies, dt)
@@ -198,6 +218,20 @@ func run(args []string) error {
 	}
 	if *save != "" {
 		if err := os.WriteFile(*save, out, 0o644); err != nil {
+			return err
+		}
+	}
+	if *metricsOut != "" {
+		reg.Gauge("load.concurrency", float64(*concurrency))
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := reg.WriteMetrics(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
 			return err
 		}
 	}

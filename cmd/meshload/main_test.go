@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"pamg2d/internal/trace"
+)
+
+// fakeMeshd answers /mesh like the real service: 200 with an X-Cache
+// header (hit on every repeat of a body it has seen), or a canned error
+// status when the request's n exceeds breakAbove.
+func fakeMeshd(breakAbove int) http.Handler {
+	var seen atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			N int `json:"n"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if breakAbove > 0 && req.N > breakAbove {
+			http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+			return
+		}
+		if seen.Add(1) > 1 {
+			w.Header().Set("X-Cache", "hit")
+		} else {
+			w.Header().Set("X-Cache", "miss")
+		}
+		w.Write([]byte("mesh bytes\n"))
+	})
+}
+
+// TestRunWritesMetricsRegistry: a load run with -metrics leaves a valid
+// registry document holding the request-latency histogram, the
+// per-status counters, and the cache-hit count.
+func TestRunWritesMetricsRegistry(t *testing.T) {
+	ts := httptest.NewServer(fakeMeshd(0))
+	defer ts.Close()
+	out := filepath.Join(t.TempDir(), "load.metrics.json")
+
+	err := run([]string{
+		"-url", ts.URL, "-n", "16", "-requests", "6", "-concurrency", "2",
+		"-metrics", out,
+	})
+	if err != nil {
+		t.Fatalf("load run: %v", err)
+	}
+
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.ValidateMetrics(f); err != nil {
+		t.Fatalf("metrics document invalid: %v", err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc trace.MetricsJSON
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Counters["load.requests"] != 6 {
+		t.Errorf("load.requests = %d, want 6", doc.Counters["load.requests"])
+	}
+	if doc.Counters["load.status.200"] != 6 {
+		t.Errorf("load.status.200 = %d, want 6", doc.Counters["load.status.200"])
+	}
+	if doc.Counters["load.cache_hits"] != 5 {
+		t.Errorf("load.cache_hits = %d, want 5", doc.Counters["load.cache_hits"])
+	}
+	if h, ok := doc.Histograms["load.request.seconds"]; !ok || h.Count != 6 {
+		t.Errorf("load.request.seconds histogram = %+v, want 6 observations", h)
+	}
+}
+
+// TestRunCountsErrorStatuses: non-200 responses land in load.errors and
+// the per-status counter, the run reports failure, and the metrics file
+// is still written before the error return.
+func TestRunCountsErrorStatuses(t *testing.T) {
+	ts := httptest.NewServer(fakeMeshd(1)) // every request's n exceeds 1
+	defer ts.Close()
+	out := filepath.Join(t.TempDir(), "load.metrics.json")
+
+	err := run([]string{
+		"-url", ts.URL, "-n", "16", "-requests", "3", "-concurrency", "1",
+		"-metrics", out,
+	})
+	if err == nil {
+		t.Fatal("run with failing requests reported success")
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("metrics not written on failed run: %v", err)
+	}
+	var doc trace.MetricsJSON
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Counters["load.errors"] != 3 {
+		t.Errorf("load.errors = %d, want 3", doc.Counters["load.errors"])
+	}
+	if doc.Counters["load.status.500"] != 3 {
+		t.Errorf("load.status.500 = %d, want 3", doc.Counters["load.status.500"])
+	}
+}

@@ -15,11 +15,13 @@ import (
 
 	"pamg2d/internal/audit"
 	"pamg2d/internal/mpi"
+	"pamg2d/internal/trace"
 )
 
 const (
 	codecTaskResult  mpi.CodecID = 32
 	codecAuditResult mpi.CodecID = 33
+	codecTelemetry   mpi.CodecID = 34
 )
 
 func encodeTaskResultRef(ref any, dst []byte) []byte {
@@ -148,6 +150,13 @@ func decodeAuditResultRef(b []byte) (any, error) {
 func init() {
 	mpi.RegisterCodec(codecTaskResult, &taskResult{}, encodeTaskResultRef, decodeTaskResultRef)
 	mpi.RegisterCodec(codecAuditResult, &auditJobResult{}, encodeAuditResultRef, decodeAuditResultRef)
+	// Telemetry snapshots (trace tracks + metrics) ship from worker
+	// processes to rank 0 at the end of a run; the wire image lives in
+	// internal/trace so the exporter and the codec cannot drift apart.
+	mpi.RegisterCodec(codecTelemetry, &trace.Telemetry{},
+		func(ref any, dst []byte) []byte { return ref.(*trace.Telemetry).AppendBinary(dst) },
+		func(b []byte) (any, error) { return trace.DecodeTelemetry(b) },
+	)
 }
 
 // encodeResults packs the root's collected per-task result arrays for the

@@ -23,6 +23,7 @@
 package core
 
 import (
+	"log/slog"
 	"time"
 
 	"pamg2d/internal/airfoil"
@@ -121,6 +122,18 @@ type Config struct {
 	// wrapping an *audit.Error; the full report lands in Stats.Audit
 	// either way.
 	Audit bool
+	// RunID labels the run in logs, stats, and trace metadata. Callers
+	// with a natural correlation key (meshd stamps its request ID here)
+	// set it; when empty, an engine with observability enabled (a logger
+	// or a per-run tracer) assigns a sequential "run-NNNNNN". With
+	// neither, the run stays unlabeled — no formatting on the hot path,
+	// keeping disabled telemetry allocation-neutral.
+	RunID string
+	// Logger, when non-nil, is handed to the throwaway engine the
+	// Generate wrappers build, so CLI runs get the same lifecycle records
+	// as engine-hosted ones. Engine.Run ignores it (the engine's own
+	// logger wins); nil keeps logging fully disabled.
+	Logger *slog.Logger
 	// Adapt carries the metric-adaptation parameters for tools that run
 	// the internal/adapt cavity-operator engine after generation. The
 	// pipeline itself ignores it (core cannot depend on adapt, which sits
@@ -257,6 +270,10 @@ type TaskMeasure struct {
 
 // Stats summarizes a pipeline run.
 type Stats struct {
+	// RunID is the run's correlation label: Config.RunID when the caller
+	// set one, the engine-assigned sequential ID when observability is
+	// on, empty otherwise.
+	RunID            string
 	SurfacePoints    int
 	BoundaryLayerPts int
 	BLTriangles      int

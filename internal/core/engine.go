@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -64,6 +65,12 @@ type EngineConfig struct {
 	// 0 resolves to runtime.NumCPU(). The pool bounds the process's kernel
 	// goroutines no matter how many runs and tasks are in flight.
 	KernelPoolSize int
+	// Logger, when non-nil, receives a structured record per run
+	// lifecycle event (started / completed / failed) with the run ID,
+	// rank count, and outcome attached. Nil disables engine logging
+	// entirely — not a single slog call is made, keeping the disabled
+	// path allocation-free.
+	Logger *slog.Logger
 }
 
 // Engine is the persistent mesh-generation service core: one fabric, one
@@ -78,6 +85,8 @@ type Engine struct {
 	poolSize  int
 
 	metrics *trace.Metrics
+	logger  *slog.Logger
+	runSeq  atomic.Uint64 // sequential run IDs, assigned only when observed
 
 	sem     chan struct{} // admission slots; nil = unlimited
 	waiting atomic.Int64  // runs queued on sem
@@ -94,7 +103,7 @@ type Engine struct {
 // NewEngine builds an engine. The error mirrors GenerateContext's
 // rank/fabric validation so wrapper callers see identical failures.
 func NewEngine(ec EngineConfig) (*Engine, error) {
-	e := &Engine{ranks: ec.Ranks, maxQueue: ec.MaxQueue, poolSize: ec.KernelPoolSize}
+	e := &Engine{ranks: ec.Ranks, maxQueue: ec.MaxQueue, poolSize: ec.KernelPoolSize, logger: ec.Logger}
 	if ec.Fabric != nil {
 		if e.ranks < 1 {
 			e.ranks = ec.Fabric.Size()
@@ -235,7 +244,15 @@ func (e *Engine) Run(ctx context.Context, cfg Config) (*Result, error) {
 		cfg.NearBodyMargin = 0.25
 	}
 
+	// Assign a run ID only when someone will see it (a logger or a
+	// per-run tracer): the fmt.Sprintf would otherwise be the only
+	// allocation telemetry-off runs pay.
+	if cfg.RunID == "" && (e.logger != nil || cfg.Tracer != nil) {
+		cfg.RunID = fmt.Sprintf("run-%06d", e.runSeq.Add(1))
+	}
+
 	res := &Result{}
+	res.Stats.RunID = cfg.RunID
 	rc := &RunCtx{ctx: ctx, cfg: cfg, stats: &res.Stats, res: res, tracer: cfg.Tracer, eng: e}
 	stages := pipeline
 	if cfg.Audit {
@@ -244,13 +261,29 @@ func (e *Engine) Run(ctx context.Context, cfg Config) (*Result, error) {
 		stages = append(append(make([]Stage, 0, len(pipeline)+1), pipeline...),
 			stageFunc{StageAudit, runAudit})
 	}
+	if e.logger != nil {
+		e.logger.Info("run started",
+			"run_id", cfg.RunID, "ranks", cfg.Ranks,
+			"transport", e.fabric.TransportName(), "audit", cfg.Audit)
+	}
 	t0 := time.Now()
 	err := rc.runStages(stages)
+	wall := time.Since(t0)
 	// Fold the run summary into the per-run metrics registry even on
 	// failure: a canceled run's partial registry is often exactly what is
 	// being debugged. No-op without a tracer.
 	foldMetrics(rc.tracer.Metrics(), &res.Stats)
-	e.foldRun(&res.Stats, time.Since(t0), err)
+	e.foldRun(&res.Stats, wall, err)
+	if e.logger != nil {
+		if err != nil {
+			e.logger.Error("run failed",
+				"run_id", cfg.RunID, "error", err, "seconds", wall.Seconds())
+		} else {
+			e.logger.Info("run completed",
+				"run_id", cfg.RunID, "triangles", res.Stats.TotalTriangles,
+				"tasks", len(res.Stats.Tasks), "seconds", wall.Seconds())
+		}
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// TestEngineRunIDs pins the run-labeling contract: an unobserved run
+// stays unlabeled (no formatting on the disabled path), an observed run
+// gets a sequential engine ID, and a caller-supplied ID wins over both.
+func TestEngineRunIDs(t *testing.T) {
+	eng, err := NewEngine(EngineConfig{Ranks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	res, err := eng.Run(context.Background(), smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.RunID != "" {
+		t.Errorf("unobserved run labeled %q, want empty", res.Stats.RunID)
+	}
+
+	cfg := smallConfig(1)
+	cfg.RunID = "req-abc"
+	if res, err = eng.Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.RunID != "req-abc" {
+		t.Errorf("caller-supplied run ID lost: got %q", res.Stats.RunID)
+	}
+
+	var buf bytes.Buffer
+	logged, err := NewEngine(EngineConfig{
+		Ranks:  1,
+		Logger: slog.New(slog.NewJSONHandler(&buf, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer logged.Close()
+	if res, err = logged.Run(context.Background(), smallConfig(1)); err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.RunID != "run-000001" {
+		t.Errorf("engine-assigned run ID = %q, want run-000001", res.Stats.RunID)
+	}
+
+	// Both lifecycle records must be valid JSON carrying the run ID.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines, want 2 (started + completed):\n%s", len(lines), buf.String())
+	}
+	for i, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("log line %d not JSON: %v\n%s", i, err, line)
+		}
+		if rec["run_id"] != "run-000001" {
+			t.Errorf("log line %d run_id = %v", i, rec["run_id"])
+		}
+	}
+	if !strings.Contains(lines[0], "run started") || !strings.Contains(lines[1], "run completed") {
+		t.Errorf("unexpected lifecycle messages:\n%s", buf.String())
+	}
+}
+
+// TestEngineRunFailureLogged checks a failing run emits a "run failed"
+// record with the error attached.
+func TestEngineRunFailureLogged(t *testing.T) {
+	var buf bytes.Buffer
+	eng, err := NewEngine(EngineConfig{
+		Ranks:  1,
+		Logger: slog.New(slog.NewJSONHandler(&buf, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	boom := errors.New("injected task failure")
+	cfg := smallConfig(1)
+	cfg.testTaskHook = func(stage string, kind int) error {
+		return boom
+	}
+	if _, err := eng.Run(context.Background(), cfg); err == nil {
+		t.Fatal("injected task failure did not fail the run")
+	}
+	if !strings.Contains(buf.String(), "run failed") {
+		t.Errorf("no failure record logged:\n%s", buf.String())
+	}
+}

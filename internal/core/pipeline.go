@@ -44,6 +44,7 @@ func GenerateContext(ctx context.Context, cfg Config) (*Result, error) {
 		Ranks:          cfg.Ranks,
 		Fabric:         cfg.Fabric,
 		KernelPoolSize: cfg.KernelWorkers,
+		Logger:         cfg.Logger,
 	})
 	if err != nil {
 		return nil, err

@@ -37,13 +37,20 @@ func frameEqual(a, b frame) bool {
 			}
 		}
 		return true
+	case framePing:
+		return a.seq == b.seq && a.rank == b.rank
+	case framePong:
+		return a.seq == b.seq && a.req == b.req
+	case frameTelemetry:
+		return a.rank == b.rank && a.codec == b.codec && bytes.Equal(a.payload, b.payload)
 	}
 	return false
 }
 
 func randomFrame(rng *rand.Rand) frame {
 	kinds := []byte{frameMsg, frameWorldClose, frameBarrierEnter, frameBarrierRelease,
-		frameWinPut, frameWinAdd, frameWinGet, frameWinGetReply}
+		frameWinPut, frameWinAdd, frameWinGet, frameWinGetReply,
+		framePing, framePong, frameTelemetry}
 	f := frame{kind: kinds[rng.Intn(len(kinds))], epoch: rng.Uint64()}
 	switch f.kind {
 	case frameMsg:
@@ -76,6 +83,17 @@ func randomFrame(rng *rand.Rand) frame {
 		for i := range f.vals {
 			f.vals[i] = rng.NormFloat64()
 		}
+	case framePing:
+		f.seq = rng.Uint64()
+		f.rank = rng.Int31n(1 << 20)
+	case framePong:
+		f.seq = rng.Uint64()
+		f.req = rng.Uint64()
+	case frameTelemetry:
+		f.rank = rng.Int31n(1 << 20)
+		f.codec = CodecID(rng.Intn(63) + 1)
+		f.payload = make([]byte, rng.Intn(300))
+		rng.Read(f.payload)
 	}
 	return f
 }

@@ -30,6 +30,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Handshake constants. The magic and version are checked on every link
@@ -85,6 +86,33 @@ type tcpNode struct {
 	getMu   sync.Mutex
 	getReqs map[uint64]chan []float64
 	reqSeq  atomic.Uint64
+
+	// Clock-alignment state: nowFn is the monotonic clock the ping/pong
+	// exchange reads on both sides (a tracer's Now when one is attached,
+	// process-uptime nanoseconds otherwise); pings holds the in-flight
+	// ping nonces awaiting a pong.
+	nowFn   atomic.Pointer[func() int64]
+	pingMu  sync.Mutex
+	pings   map[uint64]chan int64
+	pingSeq atomic.Uint64
+
+	// Telemetry snapshots shipped by peers (rank 0 only in practice),
+	// decoded and stored in arrival order until Cluster.Telemetry drains
+	// them.
+	telemMu sync.Mutex
+	telem   []TelemetryItem
+}
+
+// processStart anchors the default clock the ping exchange reads when no
+// tracer is attached; monotonic by time.Since's contract.
+var processStart = time.Now()
+
+// now reads the node's alignment clock.
+func (n *tcpNode) now() int64 {
+	if f := n.nowFn.Load(); f != nil {
+		return (*f)()
+	}
+	return int64(time.Since(processStart))
 }
 
 func newTCPNode(rank, n int) *tcpNode {
@@ -164,6 +192,30 @@ func (n *tcpNode) dispatch(f frame) error {
 		if ch != nil {
 			ch <- f.vals
 		}
+	case framePing:
+		// Echo our clock back to the sender immediately: the reply runs on
+		// this reader goroutine, so the pong's remote-read happens as close
+		// to the ping's arrival as the runtime allows.
+		if int(f.rank) >= len(n.peers) || n.peers[f.rank] == nil {
+			return fmt.Errorf("ping from unknown rank %d", f.rank)
+		}
+		_, _ = n.sendCtrl(int(f.rank), frame{kind: framePong, seq: f.seq, req: uint64(n.now())})
+	case framePong:
+		n.pingMu.Lock()
+		ch := n.pings[f.seq]
+		delete(n.pings, f.seq)
+		n.pingMu.Unlock()
+		if ch != nil {
+			ch <- int64(f.req)
+		}
+	case frameTelemetry:
+		ref, err := decodeRef(f.codec, f.payload)
+		if err != nil {
+			return err
+		}
+		n.telemMu.Lock()
+		n.telem = append(n.telem, TelemetryItem{Rank: int(f.rank), Payload: ref})
+		n.telemMu.Unlock()
 	case frameWorldClose, frameBarrierEnter, frameBarrierRelease, frameWinPut, frameWinAdd, frameWinGet:
 		n.deliver(f.epoch, pendItem{
 			kind: f.kind, win: int(f.win), slot: int(f.slot), val: f.val,
@@ -397,6 +449,13 @@ func (n *tcpNode) teardown(cause error) {
 	n.getReqs = make(map[uint64]chan []float64)
 	n.getMu.Unlock()
 	for _, ch := range reqs {
+		close(ch)
+	}
+	n.pingMu.Lock()
+	pings := n.pings
+	n.pings = nil
+	n.pingMu.Unlock()
+	for _, ch := range pings {
 		close(ch)
 	}
 }

@@ -10,12 +10,7 @@ package trace
 // WriteTrace must only be called after the traced run has quiesced; the
 // recorder's buffers are read without synchronization against writers.
 
-import (
-	"encoding/json"
-	"io"
-	"sort"
-	"strconv"
-)
+import "io"
 
 // Display thread ids within each rank process.
 const (
@@ -49,97 +44,21 @@ type jsonEvent struct {
 }
 
 // jsonTrace is the exported file: the object form with traceEvents, which
-// both Chrome and Perfetto accept (and which leaves room for metadata).
+// both Chrome and Perfetto accept. Metadata carries the merged export's
+// run-level record (transport, per-rank clock offsets); single-process
+// exports omit it.
 type jsonTrace struct {
-	TraceEvents     []jsonEvent `json:"traceEvents"`
-	DisplayTimeUnit string      `json:"displayTimeUnit"`
+	TraceEvents     []jsonEvent    `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	Metadata        map[string]any `json:"metadata,omitempty"`
 }
 
-// WriteTrace writes the recorded run as Chrome trace-event JSON. Events
-// are globally sorted by timestamp, so every per-track sequence is
-// non-decreasing — the property the schema tests lock in. Safe on a nil
-// tracer (writes an empty, still-loadable trace).
+// WriteTrace writes the recorded run as Chrome trace-event JSON: the
+// single-process case of WriteMergedTrace (one snapshot, no clock
+// rebasing, no metadata object). Events are globally sorted by
+// timestamp, so every per-track sequence is non-decreasing — the
+// property the schema tests lock in. Safe on a nil tracer (writes an
+// empty, still-loadable trace).
 func (t *Tracer) WriteTrace(w io.Writer) error {
-	out := jsonTrace{DisplayTimeUnit: "ms", TraceEvents: []jsonEvent{}}
-	type rankEvent struct {
-		e    event
-		rank int
-	}
-	var evs []rankEvent
-	nranks := 0
-	if t != nil {
-		nranks = t.nranks
-		for bi, b := range t.bufs {
-			rank := bi - 1
-			b.mu.Lock()
-			for _, c := range b.chunks {
-				k := int(c.n.Load())
-				if k > chunkSize {
-					k = chunkSize
-				}
-				for i := 0; i < k; i++ {
-					evs = append(evs, rankEvent{e: c.events[i], rank: rank})
-				}
-			}
-			b.mu.Unlock()
-		}
-	}
-	sort.SliceStable(evs, func(i, j int) bool { return evs[i].e.ts < evs[j].e.ts })
-
-	// Metadata: name the processes and threads so the viewer labels the
-	// tracks; sort indices keep root first and ranks in order.
-	meta := func(pid int, kind, name string, tid int) {
-		out.TraceEvents = append(out.TraceEvents, jsonEvent{
-			Name: kind, Ph: "M", PID: pid, TID: tid, Args: map[string]any{"name": name},
-		})
-	}
-	sortIdx := func(pid int) {
-		out.TraceEvents = append(out.TraceEvents, jsonEvent{
-			Name: "process_sort_index", Ph: "M", PID: pid,
-			Args: map[string]any{"sort_index": pid},
-		})
-	}
-	meta(0, "process_name", "root (pipeline)", 0)
-	sortIdx(0)
-	meta(0, "thread_name", "stages", tidMesher)
-	for r := 0; r < nranks; r++ {
-		pid := r + 1
-		meta(pid, "process_name", "rank "+strconv.Itoa(r), 0)
-		sortIdx(pid)
-		meta(pid, "thread_name", "mesher", tidMesher)
-		meta(pid, "thread_name", "comm", tidComm)
-	}
-
-	for _, re := range evs {
-		je := jsonEvent{
-			Name: re.e.name,
-			Cat:  re.e.cat,
-			Ph:   string(rune(re.e.ph)),
-			TS:   float64(re.e.ts) / 1e3,
-			PID:  re.rank + 1,
-			TID:  tidFor(re.e.cat),
-		}
-		switch re.e.ph {
-		case phSpan:
-			d := float64(re.e.dur) / 1e3
-			je.Dur = &d
-		case phInstant:
-			je.S = "t" // thread-scoped instant
-		case phFlowOut:
-			je.ID = re.e.id
-		case phFlowIn:
-			je.ID = re.e.id
-			je.BP = "e" // bind to the enclosing slice
-		}
-		if len(re.e.args) > 0 {
-			je.Args = make(map[string]any, len(re.e.args))
-			for _, a := range re.e.args {
-				je.Args[a.Key] = a.Val
-			}
-		}
-		out.TraceEvents = append(out.TraceEvents, je)
-	}
-
-	enc := json.NewEncoder(w)
-	return enc.Encode(&out)
+	return WriteMergedTrace(w, []*Telemetry{t.Export(0)}, nil, "")
 }

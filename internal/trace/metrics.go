@@ -175,6 +175,62 @@ func (m *Metrics) Snapshot() MetricsJSON {
 	return out
 }
 
+// MergeSnapshot folds an exported registry document into this registry
+// under the given name prefix — the launcher's aggregation path for
+// per-rank metrics shipped over the fabric ("rank1." + "tasks.run" →
+// "rank1.tasks.run"). Histogram buckets fold by recovering the binary
+// exponent from each bucket's boundary, so a merged histogram is
+// indistinguishable from one observed locally. Safe on a nil registry.
+func (m *Metrics) MergeSnapshot(prefix string, snap MetricsJSON) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, v := range snap.Counters {
+		m.counters[prefix+name] += v
+	}
+	for name, v := range snap.Gauges {
+		m.gauges[prefix+name] = v
+	}
+	for name, hj := range snap.Histograms {
+		key := prefix + name
+		h := m.hists[key]
+		if h == nil {
+			h = &histogram{buckets: make(map[int]int64)}
+			m.hists[key] = h
+		}
+		if hj.Count > 0 {
+			if h.count == 0 || hj.Min < h.min {
+				h.min = hj.Min
+			}
+			if h.count == 0 || hj.Max > h.max {
+				h.max = hj.Max
+			}
+		}
+		h.count += hj.Count
+		h.sum += hj.Sum
+		for _, b := range hj.Buckets {
+			// The export boundary is 2^(e+1) for bucket exponent e; Ilogb
+			// inverts it exactly for the power-of-two boundaries the
+			// registry emits.
+			e := minExp
+			if b.Le > 0 && !math.IsNaN(b.Le) && !math.IsInf(b.Le, 0) {
+				e = math.Ilogb(b.Le) - 1
+				if math.Ldexp(1, e+1) != b.Le {
+					// Not a power of two (foreign document): bucket by the
+					// boundary's magnitude instead of dropping the samples.
+					e = bucketExp(b.Le)
+				}
+				if e < minExp {
+					e = minExp
+				}
+			}
+			h.buckets[e] += b.Count
+		}
+	}
+}
+
 // WriteMetrics writes the registry as indented JSON (map keys sort, so
 // the output is deterministic for a given registry state).
 func (m *Metrics) WriteMetrics(w io.Writer) error {

@@ -1,0 +1,117 @@
+package trace
+
+// Prometheus text exposition (format 0.0.4) for the metrics registry.
+// The JSON export (WriteMetrics) is the registry's native archival form;
+// this encoder renders the same snapshot as a scrape surface: counters
+// become `<name>_total`, gauges map directly, and the registry's
+// power-of-two histograms become Prometheus histograms with cumulative
+// buckets, a +Inf bucket, and the usual _sum/_count pair. Metric names
+// are sanitized into the Prometheus alphabet under a `pamg2d_` prefix
+// ("engine.run.seconds" → "pamg2d_engine_run_seconds"), and families
+// emit in sorted name order so the output is deterministic for a given
+// snapshot.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type a Prometheus text scrape endpoint
+// serves.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promPrefix namespaces every exported metric.
+const promPrefix = "pamg2d_"
+
+// promName sanitizes a registry metric name into the Prometheus metric
+// alphabet [a-zA-Z0-9_] under the pamg2d_ namespace.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(promPrefix) + len(name))
+	b.WriteString(promPrefix)
+	for i := 0; i < len(name); i++ {
+		ch := name[i]
+		switch {
+		case ch >= 'a' && ch <= 'z', ch >= 'A' && ch <= 'Z', ch == '_':
+			b.WriteByte(ch)
+		case ch >= '0' && ch <= '9':
+			b.WriteByte(ch)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheusSnapshot renders one registry snapshot in Prometheus
+// text exposition format.
+func WritePrometheusSnapshot(w io.Writer, snap MetricsJSON) error {
+	type family struct {
+		name string
+		emit func() error
+	}
+	var fams []family
+
+	for name, v := range snap.Counters {
+		pn := promName(name) + "_total"
+		v := v
+		fams = append(fams, family{pn, func() error {
+			_, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, v)
+			return err
+		}})
+	}
+	for name, v := range snap.Gauges {
+		pn := promName(name)
+		v := v
+		fams = append(fams, family{pn, func() error {
+			_, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(v))
+			return err
+		}})
+	}
+	for name, h := range snap.Histograms {
+		pn := promName(name)
+		h := h
+		fams = append(fams, family{pn, func() error {
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+				return err
+			}
+			// The registry stores per-bucket counts; Prometheus buckets
+			// are cumulative.
+			var cum int64
+			for _, b := range h.Buckets {
+				cum += b.Count
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, promFloat(b.Le), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", pn, promFloat(h.Sum), pn, h.Count); err != nil {
+				return err
+			}
+			return nil
+		}})
+	}
+
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if err := f.emit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePrometheus renders the registry's current contents in Prometheus
+// text exposition format. Safe on a nil registry (writes nothing).
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	return WritePrometheusSnapshot(w, m.Snapshot())
+}

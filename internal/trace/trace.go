@@ -220,6 +220,18 @@ func (t *Tracer) Events() int {
 
 func (t *Tracer) now() int64 { return int64(time.Since(t.start)) }
 
+// Now returns the tracer's current timestamp: monotonic nanoseconds since
+// New, the time base every recorded event uses. Cross-process clock
+// alignment (mpi.Cluster.MeasureOffsets) reads both sides of a ping
+// exchange through this method so the estimated offsets are directly in
+// trace-timestamp units. Returns 0 on a nil tracer.
+func (t *Tracer) Now() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.now()
+}
+
 func (t *Tracer) buf(rank int) *buffer {
 	i := rank + 1
 	if i < 0 || i >= len(t.bufs) {

@@ -7,9 +7,13 @@ package trace
 // flow ids, schema-tagged metrics with consistent histograms).
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
+	"regexp"
+	"strconv"
+	"strings"
 )
 
 // ValidateTrace checks that r holds a well-formed Chrome trace-event
@@ -78,6 +82,154 @@ func ValidateTrace(r io.Reader) (events int, err error) {
 		}
 	}
 	return events, nil
+}
+
+var promNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// ValidatePrometheus lints a Prometheus text-exposition (0.0.4) document:
+// legal metric names, every sample preceded by a TYPE declaration for its
+// family, parseable sample values, and internally consistent histograms
+// (cumulative bucket counts non-decreasing, a +Inf bucket present and
+// equal to _count, _sum and _count present). It returns the number of
+// sample lines alongside the first violation found.
+func ValidatePrometheus(r io.Reader) (samples int, err error) {
+	types := map[string]string{} // family -> declared type
+	type histState struct {
+		lastCum  int64
+		inf      int64
+		hasInf   bool
+		hasSum   bool
+		count    int64
+		hasCount bool
+	}
+	hists := map[string]*histState{}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				name, typ := fields[2], fields[3]
+				if !promNameRE.MatchString(name) {
+					return samples, fmt.Errorf("prom: line %d: illegal metric name %q", lineNo, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return samples, fmt.Errorf("prom: line %d: unknown type %q", lineNo, typ)
+				}
+				if prev, ok := types[name]; ok && prev != typ {
+					return samples, fmt.Errorf("prom: line %d: family %q redeclared as %s (was %s)", lineNo, name, typ, prev)
+				}
+				types[name] = typ
+				if typ == "histogram" && hists[name] == nil {
+					hists[name] = &histState{}
+				}
+			}
+			continue
+		}
+
+		// Sample line: name[{labels}] value [timestamp]
+		name := line
+		labels := ""
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			j := strings.IndexByte(line, '}')
+			if j < i {
+				return samples, fmt.Errorf("prom: line %d: unbalanced label braces", lineNo)
+			}
+			name = line[:i]
+			labels = line[i+1 : j]
+			line = name + " " + strings.TrimSpace(line[j+1:])
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return samples, fmt.Errorf("prom: line %d: sample without a value", lineNo)
+		}
+		if name == line {
+			// No label braces: the metric name is the first field.
+			name = fields[0]
+		}
+		if !promNameRE.MatchString(name) {
+			return samples, fmt.Errorf("prom: line %d: illegal metric name %q", lineNo, name)
+		}
+		val, perr := strconv.ParseFloat(fields[1], 64)
+		if perr != nil {
+			return samples, fmt.Errorf("prom: line %d: value %q: %v", lineNo, fields[1], perr)
+		}
+		samples++
+
+		// Resolve the family: histogram series use the base name with a
+		// _bucket/_sum/_count suffix.
+		family := name
+		suffix := ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, s)
+			if base != name && types[base] == "histogram" {
+				family, suffix = base, s
+				break
+			}
+		}
+		typ, ok := types[family]
+		if !ok {
+			return samples, fmt.Errorf("prom: line %d: sample %q has no TYPE declaration", lineNo, name)
+		}
+		if typ != "histogram" {
+			continue
+		}
+		h := hists[family]
+		switch suffix {
+		case "_bucket":
+			le := ""
+			for _, kv := range strings.Split(labels, ",") {
+				if k, v, ok := strings.Cut(strings.TrimSpace(kv), "="); ok && k == "le" {
+					le = strings.Trim(v, `"`)
+				}
+			}
+			if le == "" {
+				return samples, fmt.Errorf("prom: line %d: histogram bucket without le label", lineNo)
+			}
+			c := int64(val)
+			if le == "+Inf" {
+				h.inf, h.hasInf = c, true
+			} else {
+				if _, perr := strconv.ParseFloat(le, 64); perr != nil {
+					return samples, fmt.Errorf("prom: line %d: bucket boundary %q: %v", lineNo, le, perr)
+				}
+				if c < h.lastCum {
+					return samples, fmt.Errorf("prom: line %d: histogram %q bucket counts decrease (%d after %d)", lineNo, family, c, h.lastCum)
+				}
+				h.lastCum = c
+			}
+		case "_sum":
+			h.hasSum = true
+		case "_count":
+			h.count, h.hasCount = int64(val), true
+		default:
+			return samples, fmt.Errorf("prom: line %d: bare sample %q for histogram family", lineNo, name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return samples, fmt.Errorf("prom: %w", err)
+	}
+	for family, h := range hists {
+		if !h.hasInf || !h.hasSum || !h.hasCount {
+			return samples, fmt.Errorf("prom: histogram %q missing +Inf bucket, _sum, or _count", family)
+		}
+		if h.inf != h.count {
+			return samples, fmt.Errorf("prom: histogram %q +Inf bucket %d != count %d", family, h.inf, h.count)
+		}
+		if h.lastCum > h.inf {
+			return samples, fmt.Errorf("prom: histogram %q finite buckets exceed +Inf (%d > %d)", family, h.lastCum, h.inf)
+		}
+	}
+	return samples, nil
 }
 
 // ValidateMetrics checks that r holds a well-formed run-metrics registry
