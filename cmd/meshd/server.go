@@ -33,6 +33,7 @@ import (
 	"pamg2d/internal/airfoil"
 	"pamg2d/internal/core"
 	"pamg2d/internal/growth"
+	"pamg2d/internal/mpi"
 	"pamg2d/internal/pslg"
 	"pamg2d/internal/trace"
 )
@@ -440,22 +441,21 @@ func (s *server) handleMesh(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err != nil {
-		status := http.StatusInternalServerError
-		switch {
-		case errors.Is(err, core.ErrEngineBusy):
-			status = http.StatusServiceUnavailable
-			w.Header().Set("Retry-After", "1")
-		case errors.Is(err, core.ErrEngineClosed):
-			status = http.StatusServiceUnavailable
-		case errors.Is(err, context.DeadlineExceeded):
-			status = http.StatusGatewayTimeout
-		case errors.Is(err, context.Canceled):
-			status = 499 // client closed request
-		case cfg.Audit && strings.Contains(err.Error(), "audit"):
-			status = http.StatusUnprocessableEntity
+		status, quorum := runStatus(w.Header(), err, cfg.Audit)
+		if quorum {
+			m.Count("server.quorum_losses", 1)
 		}
 		s.httpError(w, status, err)
 		return
+	}
+	// A degraded run completed on the surviving ranks: still a success —
+	// the mesh is whole (the re-queue path re-ran the dead ranks' tasks)
+	// — but flagged so clients can tell, and kept out of the cache so a
+	// degraded render is never served as the canonical entry for this key.
+	degraded := res.Stats.Degraded()
+	if degraded {
+		w.Header().Set("X-Degraded", fmt.Sprint(res.Stats.Resilience.RanksLost))
+		m.Count("server.degraded", 1)
 	}
 
 	var buf bytes.Buffer
@@ -478,9 +478,42 @@ func (s *server) handleMesh(w http.ResponseWriter, r *http.Request) {
 		triangles:   res.Stats.TotalTriangles,
 		points:      res.Mesh.NumPoints(),
 	}
-	s.cache.put(e)
+	if !degraded {
+		s.cache.put(e)
+	}
 	m.Observe("server.request.seconds", time.Since(t0).Seconds())
 	s.writeEntry(w, e, "miss")
+}
+
+// runStatus maps an engine-run failure to its HTTP status, setting any
+// retry hint on hdr. quorum reports a quorum loss — a rank death the run
+// could not survive (the root rank died, or the fabric collapsed under
+// this process). That condition is transient from the client's view —
+// an operator restarting the worker pool restores service — so it maps
+// to 503 with a retry hint, not a 500. A worker-rank death never reaches
+// this path: the run completes degraded on the survivors and responds
+// 200 with an X-Degraded header.
+func runStatus(hdr http.Header, err error, audit bool) (status int, quorum bool) {
+	status = http.StatusInternalServerError
+	var rde *mpi.RankDeadError
+	switch {
+	case errors.Is(err, core.ErrEngineBusy):
+		status = http.StatusServiceUnavailable
+		hdr.Set("Retry-After", "1")
+	case errors.Is(err, core.ErrEngineClosed):
+		status = http.StatusServiceUnavailable
+	case errors.As(err, &rde):
+		status = http.StatusServiceUnavailable
+		hdr.Set("Retry-After", "5")
+		quorum = true
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = 499 // client closed request
+	case audit && strings.Contains(err.Error(), "audit"):
+		status = http.StatusUnprocessableEntity
+	}
+	return status, quorum
 }
 
 func (s *server) writeEntry(w http.ResponseWriter, e *cacheEntry, cache string) {

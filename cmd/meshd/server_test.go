@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -14,6 +16,7 @@ import (
 
 	"pamg2d/internal/airfoil"
 	"pamg2d/internal/core"
+	"pamg2d/internal/mpi"
 	"pamg2d/internal/trace"
 )
 
@@ -444,5 +447,49 @@ func TestCacheKeyEquivalence(t *testing.T) {
 	resp3, _ := postMesh(t, ts.URL, `{"geometry":"naca0012","n":16,"params":{"h0":0.05}}`)
 	if resp3.Header.Get("X-Cache") != "miss" {
 		t.Errorf("changed h0: X-Cache %q, want miss", resp3.Header.Get("X-Cache"))
+	}
+}
+
+// TestRunStatusMapping pins the engine-error → HTTP-status contract,
+// including the resilience cases: a quorum loss (rank-death error
+// anywhere in the chain, as core wraps it in a PhaseError) is a 503 with
+// a retry hint, never a 500.
+func TestRunStatusMapping(t *testing.T) {
+	cases := []struct {
+		name       string
+		err        error
+		audit      bool
+		status     int
+		quorum     bool
+		retryAfter string
+	}{
+		{name: "busy", err: core.ErrEngineBusy, status: http.StatusServiceUnavailable, retryAfter: "1"},
+		{name: "closed", err: core.ErrEngineClosed, status: http.StatusServiceUnavailable},
+		{
+			name: "quorum loss",
+			err: &core.PhaseError{Stage: "inviscid", Rank: -1,
+				Err: fmt.Errorf("world closed: %w", &mpi.RankDeadError{Rank: 0, Err: errors.New("connection reset")})},
+			status: http.StatusServiceUnavailable, quorum: true, retryAfter: "5",
+		},
+		{name: "deadline", err: fmt.Errorf("run: %w", context.DeadlineExceeded), status: http.StatusGatewayTimeout},
+		{name: "canceled", err: context.Canceled, status: 499},
+		{name: "audit", err: errors.New("audit: 2 finding(s)"), audit: true, status: http.StatusUnprocessableEntity},
+		{name: "audit without flag", err: errors.New("audit: 2 finding(s)"), status: http.StatusInternalServerError},
+		{name: "other", err: errors.New("boom"), status: http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			hdr := make(http.Header)
+			status, quorum := runStatus(hdr, tc.err, tc.audit)
+			if status != tc.status {
+				t.Errorf("status = %d, want %d", status, tc.status)
+			}
+			if quorum != tc.quorum {
+				t.Errorf("quorum = %v, want %v", quorum, tc.quorum)
+			}
+			if got := hdr.Get("Retry-After"); got != tc.retryAfter {
+				t.Errorf("Retry-After = %q, want %q", got, tc.retryAfter)
+			}
+		})
 	}
 }

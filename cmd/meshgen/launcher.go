@@ -17,9 +17,26 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"sync"
 
 	"pamg2d/internal/mpi"
 )
+
+// lockedWriter serializes writes to a shared non-File stderr and, by
+// exposing only Write, keeps io.Copy from delegating to the underlying
+// writer's ReadFrom (bytes.Buffer.ReadFrom truncates concurrent writes
+// away — see the wrap site in run). Worker pipe copiers and the
+// launcher's own reports interleave safely through it.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (lw *lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}
 
 // workerEnv marks a spawned process as a meshgen worker re-exec. The
 // production binary ignores it; the test binary's TestMain uses it to

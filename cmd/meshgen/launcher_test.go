@@ -269,3 +269,81 @@ func TestRunUnknownTransport(t *testing.T) {
 		t.Fatal("unknown transport accepted")
 	}
 }
+
+// TestRunTCPSurvivesWorkerKill is the fault-tolerance acceptance gate: a
+// 4-process TCP run loses a worker to SIGKILL mid-run (the
+// -fault-kill-rank hook raises SIGKILL on the worker at the start of its
+// first task — delivery identical to an external kill -9) and must still
+// complete on the survivors with the audit stage clean, exit
+// successfully, report the death and the re-queued tasks, and export a
+// merged trace carrying the recovery events. The same run under
+// -strict-ranks must fail instead.
+func TestRunTCPSurvivesWorkerKill(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "degraded.bin")
+	tracePath := filepath.Join(dir, "degraded.trace.json")
+
+	base := []string{
+		"-n", "24", "-farfield", "6", "-ranks", "4",
+		"-h0", "0.08", "-hmax", "2", "-bl-h0", "3e-3", "-bl-layers", "8",
+		"-format", "binary", "-audit", "-transport", "tcp",
+		"-fault-kill-rank", "2",
+	}
+	var errb bytes.Buffer
+	err := run(context.Background(), append(base, "-o", out, "-trace", tracePath),
+		&bytes.Buffer{}, &errb)
+	if err != nil {
+		t.Fatalf("degraded run failed: %v\n%s", err, errb.String())
+	}
+	msg := errb.String()
+	if !strings.Contains(msg, "rank 2 died") {
+		t.Errorf("no death report for rank 2 on stderr:\n%s", msg)
+	}
+	if !strings.Contains(msg, "re-queued") {
+		t.Errorf("no re-queue report on stderr:\n%s", msg)
+	}
+	if !strings.Contains(msg, "resilience") {
+		t.Errorf("no resilience section in the stats report:\n%s", msg)
+	}
+	if b, rerr := os.ReadFile(out); rerr != nil || len(b) == 0 {
+		t.Fatalf("degraded mesh not written: %v (%d bytes)", rerr, len(b))
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, verr := trace.ValidateTrace(bytes.NewReader(raw)); verr != nil {
+		t.Fatalf("degraded merged trace invalid: %v", verr)
+	} else if n == 0 {
+		t.Fatal("degraded merged trace has no events")
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Cat string `json:"cat"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	recover := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Cat == "recover" {
+			recover++
+		}
+	}
+	if recover == 0 {
+		t.Error("merged trace has no recovery-category events for the rank death")
+	}
+
+	errb.Reset()
+	err = run(context.Background(),
+		append(base, "-strict-ranks", "-q", "-o", filepath.Join(dir, "strict.bin")),
+		&bytes.Buffer{}, &errb)
+	if err == nil {
+		t.Fatal("-strict-ranks accepted a degraded run")
+	}
+	if !strings.Contains(err.Error(), "rank(s) died") {
+		t.Errorf("-strict-ranks failed with the wrong error: %v", err)
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync/atomic"
+	"syscall"
 
 	"pamg2d/internal/airfoil"
 	"pamg2d/internal/core"
@@ -23,44 +25,59 @@ import (
 // so the command is testable end to end. ctx bounds the whole run: main
 // cancels it on SIGINT/SIGTERM, and -timeout adds a deadline on top.
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	// A non-File stderr (test harnesses pass a bytes.Buffer) must be
+	// serialized before it is shared with spawned worker processes:
+	// os/exec copies a child's stderr pipe into a non-File writer with
+	// io.Copy, which delegates to bytes.Buffer.ReadFrom — and ReadFrom
+	// snapshots the buffer length, blocks for the child's lifetime, then
+	// truncates the buffer back to the snapshot on EOF, erasing whatever
+	// the launcher printed in between. The wrapper hides ReadFrom and
+	// locks each write. A real *os.File (os.Stderr in production) is
+	// passed to children as a plain fd, needs neither, and stays unwrapped.
+	if _, isFile := stderr.(*os.File); !isFile {
+		stderr = &lockedWriter{w: stderr}
+	}
 	fs := flag.NewFlagSet("meshgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		geometry   = fs.String("geometry", "naca0012", "geometry: naca0012 | 30p30n (ignored with -input)")
-		input      = fs.String("input", "", "read the PSLG from a Triangle .poly file instead of -geometry")
-		writePoly  = fs.String("write-poly", "", "also write the generated PSLG to this .poly file")
-		nHalf      = fs.Int("n", 64, "surface resolution (half-points per element)")
-		ranks      = fs.Int("ranks", 4, "MPI ranks (goroutines with -transport inproc, processes with tcp)")
-		kernelW    = fs.Int("kernel-workers", 1, "Delaunay insertion goroutines per task (1 = sequential, 0 = NumCPU)")
-		kernelSh   = fs.Bool("kernel-shuffle", false, "BRIO round-shuffled insertion batches in the parallel kernel (cuts conflict retries on clustered points)")
-		transport  = fs.String("transport", "inproc", "rank transport: inproc | tcp (spawns ranks-1 worker processes)")
-		listen     = fs.String("listen", "127.0.0.1:0", "launcher listen address for -transport tcp")
-		spawn      = fs.Int("spawn", -1, "worker processes the launcher forks locally (-1 = ranks-1; 0 = all workers join by hand)")
-		worker     = fs.Bool("worker", false, "run as a spawned worker process (internal; requires -join)")
-		join       = fs.String("join", "", "address of the launcher to join as a worker")
-		farfield   = fs.Float64("farfield", 30, "far-field half-width in chords")
-		h0         = fs.Float64("bl-h0", 4e-4, "first boundary-layer height")
-		ratio      = fs.Float64("bl-ratio", 1.25, "boundary-layer growth ratio")
-		layersMax  = fs.Int("bl-layers", 40, "maximum boundary layers")
-		surfaceH   = fs.Float64("h0", 0.02, "isotropic surface edge length")
-		gradation  = fs.Float64("gradation", 0.15, "sizing growth with distance")
-		hmax       = fs.Float64("hmax", 4.0, "far-field edge length cap")
-		kernel     = fs.String("kernel", "ruppert", "inviscid kernel: ruppert | front")
-		auditRun   = fs.Bool("audit", false, "verify mesh invariants after the merge (fails the run on violations)")
-		format     = fs.String("format", "ascii", "output format: ascii | binary | vtk")
-		out        = fs.String("o", "", "output file (default stdout)")
-		quiet      = fs.Bool("q", false, "suppress statistics")
-		cpuProf    = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memProf    = fs.String("memprofile", "", "write a pprof heap profile to this file")
-		traceOut   = fs.String("trace", "", "write a Chrome trace-event file of the run (load in Perfetto / chrome://tracing)")
-		metricsOut = fs.String("metrics", "", "write the run-metrics registry (counters/gauges/histograms) as JSON")
-		timeout    = fs.Duration("timeout", 0, "abort generation after this duration (0 = no limit)")
-		logFormat  = fs.String("log-format", "text", "structured log format: text | json")
-		logLevel   = fs.String("log-level", "off", "engine log level: off | debug | info | warn | error")
-		runID      = fs.String("run-id", "", "run correlation ID stamped on logs and stats (default: engine-assigned when observability is on)")
-		adaptN     = fs.Int("adapt-cycles", 0, "metric-adaptation cycles after generation (0 = off)")
-		adaptMet   = fs.String("adapt-metric", "hessian", "metric source: hessian | a metric spec (uniform:h=… | bl:…)")
-		adaptIso   = fs.Bool("adapt-iso", false, "adapt with the isotropic indicator loop (full regeneration per cycle) instead of the cavity-operator engine")
+		geometry    = fs.String("geometry", "naca0012", "geometry: naca0012 | 30p30n (ignored with -input)")
+		input       = fs.String("input", "", "read the PSLG from a Triangle .poly file instead of -geometry")
+		writePoly   = fs.String("write-poly", "", "also write the generated PSLG to this .poly file")
+		nHalf       = fs.Int("n", 64, "surface resolution (half-points per element)")
+		ranks       = fs.Int("ranks", 4, "MPI ranks (goroutines with -transport inproc, processes with tcp)")
+		kernelW     = fs.Int("kernel-workers", 1, "Delaunay insertion goroutines per task (1 = sequential, 0 = NumCPU)")
+		kernelSh    = fs.Bool("kernel-shuffle", false, "BRIO round-shuffled insertion batches in the parallel kernel (cuts conflict retries on clustered points)")
+		transport   = fs.String("transport", "inproc", "rank transport: inproc | tcp (spawns ranks-1 worker processes)")
+		listen      = fs.String("listen", "127.0.0.1:0", "launcher listen address for -transport tcp")
+		spawn       = fs.Int("spawn", -1, "worker processes the launcher forks locally (-1 = ranks-1; 0 = all workers join by hand)")
+		worker      = fs.Bool("worker", false, "run as a spawned worker process (internal; requires -join)")
+		join        = fs.String("join", "", "address of the launcher to join as a worker")
+		farfield    = fs.Float64("farfield", 30, "far-field half-width in chords")
+		h0          = fs.Float64("bl-h0", 4e-4, "first boundary-layer height")
+		ratio       = fs.Float64("bl-ratio", 1.25, "boundary-layer growth ratio")
+		layersMax   = fs.Int("bl-layers", 40, "maximum boundary layers")
+		surfaceH    = fs.Float64("h0", 0.02, "isotropic surface edge length")
+		gradation   = fs.Float64("gradation", 0.15, "sizing growth with distance")
+		hmax        = fs.Float64("hmax", 4.0, "far-field edge length cap")
+		kernel      = fs.String("kernel", "ruppert", "inviscid kernel: ruppert | front")
+		auditRun    = fs.Bool("audit", false, "verify mesh invariants after the merge (fails the run on violations)")
+		strictRanks = fs.Bool("strict-ranks", false, "fail the run if any rank died (default: a degraded run that completes on the survivors exits 0)")
+		faultRank   = fs.Int("fault-kill-rank", -1, "fault injection: this worker rank SIGKILLs itself mid-run (tcp transport; rehearses rank-death recovery)")
+		faultTask   = fs.Int("fault-kill-task", 0, "fault injection: the task index at which -fault-kill-rank dies (0 = its first task)")
+		format      = fs.String("format", "ascii", "output format: ascii | binary | vtk")
+		out         = fs.String("o", "", "output file (default stdout)")
+		quiet       = fs.Bool("q", false, "suppress statistics")
+		cpuProf     = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf     = fs.String("memprofile", "", "write a pprof heap profile to this file")
+		traceOut    = fs.String("trace", "", "write a Chrome trace-event file of the run (load in Perfetto / chrome://tracing)")
+		metricsOut  = fs.String("metrics", "", "write the run-metrics registry (counters/gauges/histograms) as JSON")
+		timeout     = fs.Duration("timeout", 0, "abort generation after this duration (0 = no limit)")
+		logFormat   = fs.String("log-format", "text", "structured log format: text | json")
+		logLevel    = fs.String("log-level", "off", "engine log level: off | debug | info | warn | error")
+		runID       = fs.String("run-id", "", "run correlation ID stamped on logs and stats (default: engine-assigned when observability is on)")
+		adaptN      = fs.Int("adapt-cycles", 0, "metric-adaptation cycles after generation (0 = off)")
+		adaptMet    = fs.String("adapt-metric", "hessian", "metric source: hessian | a metric spec (uniform:h=… | bl:…)")
+		adaptIso    = fs.Bool("adapt-iso", false, "adapt with the isotropic indicator loop (full regeneration per cycle) instead of the cavity-operator engine")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -191,6 +208,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if logger != nil {
 			cfg.Logger = logger.With("rank", cluster.Rank())
 		}
+		armFaultKill(&cfg, cluster.Rank(), *faultRank, *faultTask)
 		var workerTracer *trace.Tracer
 		if wantTelemetry {
 			workerTracer = trace.New(cfg.Ranks)
@@ -200,13 +218,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			cluster.SetNowFunc(workerTracer.Now)
 		}
 		poolGets0, poolPuts0 := mpi.PoolCounters()
-		if _, err := core.GenerateContext(ctx, cfg); err != nil {
+		res, err := core.GenerateContext(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		// Ship the per-process run summary, then any tracer snapshot,
+		// before the finalize barrier: FIFO frame delivery means the
+		// launcher holds both once the barrier releases.
+		if err := cluster.SendTelemetry(encodeRankStats(cluster.Rank(), &res.Stats)); err != nil {
 			return err
 		}
 		if workerTracer != nil {
 			foldPoolGauges(workerTracer.Metrics(), poolGets0, poolPuts0)
-			// Ship before the finalize barrier: FIFO frame delivery means
-			// the launcher holds this snapshot once the barrier releases.
 			if err := cluster.SendTelemetry(workerTracer.Export(cluster.Rank())); err != nil {
 				return err
 			}
@@ -263,6 +286,32 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			err = finalizeTCP(ctx, fabric)
 		}
 	}
+	// Drain the telemetry channel once the barrier released: worker
+	// processes shipped their run summaries (and tracer snapshots, when
+	// tracing is on) ahead of entering it. Ranks that died have no
+	// summary — the degradation report below covers them.
+	var workerStats []rankSummary
+	var workerTelems []*trace.Telemetry
+	if fabric != nil {
+		for _, item := range fabric.Telemetry() {
+			switch p := item.Payload.(type) {
+			case *trace.Telemetry:
+				workerTelems = append(workerTelems, p)
+			case []float64:
+				if rs, ok := decodeRankStats(p); ok {
+					workerStats = append(workerStats, rs)
+				}
+			}
+		}
+	}
+	if err == nil && fabric != nil && res.Stats.Degraded() {
+		reportDeaths(stderr, &res.Stats)
+		if *strictRanks {
+			// The trace still exports below: the degraded run's record is
+			// exactly what the strict failure will be debugged with.
+			err = fmt.Errorf("%d rank(s) died during the run (-strict-ranks)", res.Stats.Resilience.RanksLost)
+		}
+	}
 
 	// Export the trace and metrics even when generation failed: the
 	// partial record of an aborted run is usually the record being
@@ -274,11 +323,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		transport := ""
 		if fabric != nil {
 			transport = fabric.TransportName()
-			for _, item := range fabric.Telemetry() {
-				tel, ok := item.Payload.(*trace.Telemetry)
-				if !ok {
-					continue
-				}
+			for _, tel := range workerTelems {
 				telems = append(telems, tel)
 				// Worker registries land under a rank prefix so per-rank
 				// totals stay distinguishable in the merged document.
@@ -362,6 +407,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stderr, "steals               %d of %d requests granted, %v total idle\n",
 				st.Steals.Granted, st.Steals.Requests, st.Steals.Idle.Round(1e6))
 		}
+		if fabric != nil {
+			printRankStats(stderr, summarizeRankStats(0, &st), workerStats)
+		}
+		if st.Degraded() {
+			printResilience(stderr, &st)
+		}
 		if tracer != nil && fabric != nil {
 			var maxOff int64
 			for _, cs := range clocks {
@@ -389,6 +440,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// armFaultKill installs the fault-injection hook on the worker whose
+// rank matches -fault-kill-rank: at the start of its killTask-th task it
+// raises SIGKILL on itself — uncatchable and instant, exactly the death
+// an OOM kill or a node loss delivers — so resilience tests and the CI
+// fault smoke get a rank death at a deterministic point in the task
+// stream instead of a racy external kill. Workers only: the launcher is
+// rank 0, and killing it is quorum loss by definition.
+func armFaultKill(cfg *core.Config, rank, killRank, killTask int) {
+	if killRank < 0 || rank != killRank {
+		return
+	}
+	var tasks atomic.Int64
+	cfg.TaskHook = func(stage string, kind int) error {
+		if int(tasks.Add(1)) > killTask {
+			_ = syscall.Kill(syscall.Getpid(), syscall.SIGKILL)
+		}
+		return nil
+	}
 }
 
 // finalizeTCP synchronizes pipeline completion across the fabric's

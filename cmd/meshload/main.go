@@ -9,9 +9,13 @@
 // With -once it sends a single request and streams the mesh body to
 // stdout (exit 1 on any non-200), which is how the CI smoke pipes a
 // served mesh through `meshcheck -strict`. With -metrics it also writes
-// the client-side view — request-latency histogram, per-status and
-// cache-hit counters — as a standard pamg2d-metrics/1 registry, the
-// same schema meshd's /metrics exports.
+// the client-side view — request-latency histogram, per-status,
+// cache-hit, and degraded-completion counters — as a standard
+// pamg2d-metrics/1 registry, the same schema meshd's /metrics exports.
+// Responses carrying an X-Degraded header (the serving run lost ranks
+// mid-generation and completed on the survivors) count as successes but
+// are tallied separately in the summary; -report-degraded additionally
+// warns about them on stderr.
 package main
 
 import (
@@ -38,6 +42,7 @@ type summary struct {
 	Requests      int     `json:"requests"`
 	Errors        int     `json:"errors"`
 	CacheHits     int     `json:"cache_hits"`
+	Degraded      int     `json:"degraded"`
 	Seconds       float64 `json:"seconds"`
 	ThroughputRPS float64 `json:"throughput_rps"`
 	P50Ms         float64 `json:"p50_ms"`
@@ -66,6 +71,7 @@ func run(args []string) error {
 		duration    = fs.Duration("duration", 0, "send for this long instead of a fixed count")
 		timeout     = fs.Duration("timeout", 2*time.Minute, "per-request client timeout")
 		once        = fs.Bool("once", false, "send one request, stream the mesh body to stdout")
+		reportDeg   = fs.Bool("report-degraded", false, "warn on stderr when completions were served degraded (X-Degraded: the run lost ranks and finished on the survivors)")
 		save        = fs.String("save", "", "also write the JSON summary to this file")
 		metricsOut  = fs.String("metrics", "", "write a client-side metrics registry (latency histogram, status counters) to this JSON file")
 	)
@@ -109,6 +115,9 @@ func run(args []string) error {
 			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 			return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
 		}
+		if d := resp.Header.Get("X-Degraded"); d != "" && *reportDeg {
+			fmt.Fprintf(os.Stderr, "meshload: mesh served degraded (%s rank(s) lost mid-run)\n", d)
+		}
 		_, err = io.Copy(os.Stdout, resp.Body)
 		return err
 	}
@@ -124,6 +133,7 @@ func run(args []string) error {
 		latencies []time.Duration
 		errs      atomic.Int64
 		hits      atomic.Int64
+		degraded  atomic.Int64
 		next      atomic.Int64
 	)
 	deadline := time.Time{}
@@ -177,6 +187,14 @@ func run(args []string) error {
 					hits.Add(1)
 					reg.Count("load.cache_hits", 1)
 				}
+				// A 200 carrying X-Degraded completed on a shrunken fabric:
+				// a success for throughput purposes, but tallied apart so a
+				// load run can tell how many of its meshes came from
+				// degraded runs.
+				if resp.Header.Get("X-Degraded") != "" {
+					degraded.Add(1)
+					reg.Count("load.degraded", 1)
+				}
 				mu.Lock()
 				latencies = append(latencies, dt)
 				mu.Unlock()
@@ -200,6 +218,7 @@ func run(args []string) error {
 		Requests:    len(latencies) + int(errs.Load()),
 		Errors:      int(errs.Load()),
 		CacheHits:   int(hits.Load()),
+		Degraded:    int(degraded.Load()),
 		Seconds:     elapsed.Seconds(),
 		P50Ms:       pct(0.50),
 		P90Ms:       pct(0.90),
@@ -234,6 +253,10 @@ func run(args []string) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
+	}
+	if *reportDeg && s.Degraded > 0 {
+		fmt.Fprintf(os.Stderr, "meshload: %d of %d completions served degraded (the run lost ranks and finished on the survivors)\n",
+			s.Degraded, s.Requests)
 	}
 	if s.Errors > 0 {
 		return fmt.Errorf("%d of %d requests failed", s.Errors, s.Requests)

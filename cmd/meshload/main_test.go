@@ -114,3 +114,57 @@ func TestRunCountsErrorStatuses(t *testing.T) {
 		t.Errorf("load.status.500 = %d, want 3", doc.Counters["load.status.500"])
 	}
 }
+
+// TestRunCountsDegradedResponses: 200s carrying an X-Degraded header (the
+// serving run lost ranks and completed on the survivors) stay successes
+// but are tallied in the summary's degraded field and the load.degraded
+// counter.
+func TestRunCountsDegradedResponses(t *testing.T) {
+	var served atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Every other response pretends its run lost a rank.
+		if served.Add(1)%2 == 0 {
+			w.Header().Set("X-Degraded", "1")
+		}
+		w.Header().Set("X-Cache", "miss")
+		w.Write([]byte("mesh bytes\n"))
+	}))
+	defer ts.Close()
+	dir := t.TempDir()
+	save := filepath.Join(dir, "load.json")
+	out := filepath.Join(dir, "load.metrics.json")
+
+	err := run([]string{
+		"-url", ts.URL, "-n", "16", "-requests", "6", "-concurrency", "1",
+		"-report-degraded", "-save", save, "-metrics", out,
+	})
+	if err != nil {
+		t.Fatalf("load run: %v", err)
+	}
+
+	raw, err := os.ReadFile(save)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s summary
+	if err := json.Unmarshal(raw, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Errors != 0 {
+		t.Errorf("degraded responses counted as errors: %d", s.Errors)
+	}
+	if s.Degraded != 3 {
+		t.Errorf("summary degraded = %d, want 3", s.Degraded)
+	}
+	mraw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc trace.MetricsJSON
+	if err := json.Unmarshal(mraw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Counters["load.degraded"] != 3 {
+		t.Errorf("load.degraded = %d, want 3", doc.Counters["load.degraded"])
+	}
+}

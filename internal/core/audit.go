@@ -141,7 +141,7 @@ func (r *auditJobResult) wireBytes() int {
 // job index travels in the task vector.
 func runAuditJobs(rc *RunCtx, s *audit.Snapshot, jobs []audit.Job) ([]*auditJobResult, error) {
 	cfg := rc.cfg
-	hook := cfg.testTaskHook
+	hook := cfg.TaskHook
 	tr := rc.tracer
 	world := rc.newWorld()
 	world.SetTracer(tr)
@@ -167,6 +167,7 @@ func runAuditJobs(rc *RunCtx, s *audit.Snapshot, jobs []audit.Job) ([]*auditJobR
 
 	opt := loadbal.DefaultOptions(totalCost(tasks), cfg.Ranks)
 	opt.Tracer = tr
+	wireRecovery(&opt, world, tasks, initial)
 	err := world.RunCtx(rc.ctx, func(c *mpi.Comm) error {
 		bs, err := loadbal.Run(rc.ctx, c, win, initial[c.Rank()], len(tasks), opt, func(task loadbal.Task) {
 			if hook != nil {
@@ -245,8 +246,14 @@ func runAuditJobs(rc *RunCtx, s *audit.Snapshot, jobs []audit.Job) ([]*auditJobR
 				if !ok {
 					break
 				}
+				// Re-queued jobs may deliver duplicate findings; the first
+				// arrival wins (jobs are deterministic, so they agree).
 				if r, ok := ref.(*auditJobResult); ok {
-					results[r.job] = r
+					ji := int(r.job)
+					if ji < 0 || ji >= len(jobs) || results[ji] != nil {
+						continue
+					}
+					results[ji] = r
 					collected++
 				}
 			}
@@ -254,42 +261,25 @@ func runAuditJobs(rc *RunCtx, s *audit.Snapshot, jobs []audit.Job) ([]*auditJobR
 		if !world.MultiProcess() {
 			return nil
 		}
-		// Failure agreement, then the root's re-broadcast of the reduced
-		// findings so every process folds the identical report.
-		flag := -1.0
+		// Star-shaped failure agreement, then the root's re-distribution of
+		// the reduced findings so every process folds the identical report.
 		mu.Lock()
-		if taskErr != nil {
-			flag = float64(c.Rank())
-		}
+		localFail := taskErr != nil
 		mu.Unlock()
-		agreed, aerr := c.Allreduce(rc.ctx, tagErrSync, []float64{flag}, mpi.OpMax)
-		if aerr != nil {
-			return aerr
-		}
-		if agreed[0] >= 0 {
-			agreedErrRank = int(agreed[0])
-			return nil
-		}
-		var payload []byte
-		if c.Rank() == 0 {
+		rank, aerr := agreePhase(rc, c, localFail, func() ([]byte, error) {
 			if collected != len(jobs) {
-				return fmt.Errorf("collected %d of %d audit job results", collected, len(jobs))
+				return nil, fmt.Errorf("collected %d of %d audit job results", collected, len(jobs))
 			}
-			payload = encodeAuditResults(results)
-		}
-		d, berr := c.Bcast(rc.ctx, 0, tagResultSync, payload)
-		if berr != nil {
-			return berr
-		}
-		if c.Rank() != 0 {
-			derr := decodeAuditResultsInto(d, results)
-			mpi.PutBytes(d)
-			if derr != nil {
+			return encodeAuditResults(results), nil
+		}, func(body []byte) error {
+			if derr := decodeAuditResultsInto(body, results); derr != nil {
 				return derr
 			}
 			collected = len(jobs)
-		}
-		return nil
+			return nil
+		})
+		agreedErrRank = rank
+		return aerr
 	})
 	if rc.ctx.Err() != nil {
 		return nil, &PhaseError{Stage: StageAudit, Rank: -1, Err: context.Cause(rc.ctx)}

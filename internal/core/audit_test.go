@@ -145,7 +145,7 @@ func TestCancelDuringAudit(t *testing.T) {
 	defer cancel()
 	cfg := smallConfig(2)
 	cfg.Audit = true
-	cfg.testTaskHook = func(stage string, kind int) error {
+	cfg.TaskHook = func(stage string, kind int) error {
 		if stage == StageAudit {
 			cancel()
 		}
@@ -178,7 +178,7 @@ func TestAuditTaskFailureAttribution(t *testing.T) {
 	boom := errors.New("injected audit job failure")
 	cfg := smallConfig(3)
 	cfg.Audit = true
-	cfg.testTaskHook = func(stage string, kind int) error {
+	cfg.TaskHook = func(stage string, kind int) error {
 		if stage == StageAudit && kind == kindAudit {
 			return boom
 		}

@@ -141,11 +141,15 @@ type Config struct {
 	// their post-generation adaptation cycles.
 	Adapt AdaptParams
 
-	// testTaskHook, when set (tests only), runs at the start of every
-	// distributed task's execution with the stage name and task kind; a
-	// non-nil return fails the task on the rank executing it. The stage
-	// engine tests use it to cancel or fail mid-phase deterministically.
-	testTaskHook func(stage string, kind int) error
+	// TaskHook, when set, runs at the start of every distributed task's
+	// execution with the stage name and task kind; a non-nil return fails
+	// the task on the rank executing it. It exists for test and
+	// fault-injection harnesses: the stage engine tests use it to cancel
+	// or fail mid-phase deterministically, and meshgen's -fault-kill-*
+	// flags use it to SIGKILL a worker at an exact point in the task
+	// stream when rehearsing rank-death recovery. Leave nil in production
+	// runs.
+	TaskHook func(stage string, kind int) error
 	// testMutateMesh, when set (tests only), runs on the merged mesh
 	// before the audit stage inspects it; the failure-path tests corrupt
 	// the mesh here to prove violations surface as stage errors.
@@ -307,4 +311,36 @@ type Stats struct {
 	// stage (nil when Config.Audit is off). It is populated even when the
 	// audit fails the run.
 	Audit *audit.Report
+	// Resilience records how the run degraded when ranks died mid-flight;
+	// all-zero for clean runs. A run on a fabric that already lost ranks
+	// (a long-lived engine surviving an earlier failure) reports those
+	// losses too: it genuinely ran on the shrunken rank set.
+	Resilience ResilienceStats
 }
+
+// ResilienceStats summarizes a run's fault-tolerance activity: ranks lost,
+// tasks re-queued onto survivors by the balancer's recovery path, and the
+// wall time the distributed phases spent between noticing a death and
+// terminating degraded.
+type ResilienceStats struct {
+	RanksLost     int
+	TasksRequeued int
+	RecoveryWall  time.Duration
+	// Deaths is the fabric's chronological death record as seen from this
+	// process: which rank, when it was declared dead, and why.
+	Deaths []RankDeathStat
+}
+
+// RankDeathStat is one rank death: detection time and cause as recorded by
+// the transport's membership view.
+type RankDeathStat struct {
+	Rank  int
+	At    time.Time
+	Cause string
+}
+
+// Degraded reports whether the run lost ranks: it completed, and its audit
+// (when enabled) passed, but on fewer ranks than configured. Degraded runs
+// are not guaranteed byte-identical to the full-rank run — the invariant
+// audit is the correctness gate.
+func (st *Stats) Degraded() bool { return st.Resilience.RanksLost > 0 }

@@ -269,6 +269,20 @@ func (e *Engine) Run(ctx context.Context, cfg Config) (*Result, error) {
 	t0 := time.Now()
 	err := rc.runStages(stages)
 	wall := time.Since(t0)
+	// Membership is fabric state, not per-phase state: fold the death
+	// record once here (per-phase balancer stats would double-count a
+	// rank that is already dead when a later phase starts). A run on a
+	// previously degraded fabric reports those losses too — the caller is
+	// running on fewer ranks than configured either way.
+	for _, d := range cfg.Fabric.DeadRanks() {
+		res.Stats.Resilience.RanksLost++
+		cause := ""
+		if d.Cause != nil {
+			cause = d.Cause.Error()
+		}
+		res.Stats.Resilience.Deaths = append(res.Stats.Resilience.Deaths,
+			RankDeathStat{Rank: d.Rank, At: d.At, Cause: cause})
+	}
 	// Fold the run summary into the per-run metrics registry even on
 	// failure: a canceled run's partial registry is often exactly what is
 	// being debugged. No-op without a tracer.

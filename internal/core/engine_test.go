@@ -157,7 +157,7 @@ func TestEngineAdmission(t *testing.T) {
 	release := make(chan struct{})
 	var once sync.Once
 	cfg := smallConfig(1)
-	cfg.testTaskHook = func(stage string, kind int) error {
+	cfg.TaskHook = func(stage string, kind int) error {
 		once.Do(func() {
 			close(inside)
 			<-release
@@ -201,7 +201,7 @@ func TestEngineQueueWait(t *testing.T) {
 	release := make(chan struct{})
 	var once sync.Once
 	cfg := smallConfig(1)
-	cfg.testTaskHook = func(stage string, kind int) error {
+	cfg.TaskHook = func(stage string, kind int) error {
 		once.Do(func() {
 			close(inside)
 			<-release

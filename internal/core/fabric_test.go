@@ -190,7 +190,7 @@ func TestGenerateTCPTaskFailureAgreement(t *testing.T) {
 		c := smallConfig(ranks)
 		c.Fabric = cl
 		if i == 1 {
-			c.testTaskHook = func(stage string, kind int) error {
+			c.TaskHook = func(stage string, kind int) error {
 				if stage == StageInviscid {
 					return boom
 				}
@@ -217,5 +217,89 @@ func TestGenerateTCPTaskFailureAgreement(t *testing.T) {
 	}
 	if !errors.Is(errs[1], boom) {
 		t.Errorf("failing process lost the original cause: %v", errs[1])
+	}
+}
+
+// TestGenerateTCPDegradedRun kills one worker process mid-run (its
+// fabric connections reset, the SIGKILL stand-in) and checks the
+// survivors complete the audited pipeline degraded: the run succeeds,
+// the audit is clean, the loss is recorded in Stats.Resilience, and the
+// surviving processes agree on the mesh bytes.
+func TestGenerateTCPDegradedRun(t *testing.T) {
+	const ranks = 4
+	const victim = 3
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	clusters, err := mpi.LoopbackClusters(ctx, ranks)
+	if err != nil {
+		t.Fatalf("LoopbackClusters(%d): %v", ranks, err)
+	}
+	defer func() {
+		for _, cl := range clusters {
+			if cl.Rank() != victim {
+				cl.Close()
+			}
+		}
+	}()
+
+	results := make([]*Result, ranks)
+	errs := make([]error, ranks)
+	var killOnce sync.Once
+	var wg sync.WaitGroup
+	for _, cl := range clusters {
+		wg.Add(1)
+		go func(cl *mpi.Cluster) {
+			defer wg.Done()
+			r := cl.Rank()
+			c := smallConfig(ranks)
+			c.Audit = true
+			c.Fabric = cl
+			if r == victim {
+				c.TaskHook = func(stage string, kind int) error {
+					if stage == StageInviscid {
+						// Vanish mid-task: connections reset while this rank
+						// still owns unfinished work, then park so the
+						// completion is never sent.
+						killOnce.Do(func() { cl.Close() })
+						time.Sleep(50 * time.Millisecond)
+					}
+					return nil
+				}
+			}
+			results[r], errs[r] = GenerateContext(context.Background(), c)
+		}(cl)
+	}
+	wg.Wait()
+
+	if errs[victim] == nil {
+		t.Errorf("victim process completed despite losing its fabric")
+	}
+	var survivors [][]byte
+	for r := 0; r < ranks; r++ {
+		if r == victim {
+			continue
+		}
+		if errs[r] != nil {
+			t.Fatalf("survivor %d: %v", r, errs[r])
+		}
+		res := results[r]
+		if res.Stats.Audit == nil || !res.Stats.Audit.Ok() {
+			t.Errorf("survivor %d audit not clean: %v", r, res.Stats.Audit)
+		}
+		if !res.Stats.Degraded() || res.Stats.Resilience.RanksLost != 1 {
+			t.Errorf("survivor %d resilience = %+v, want 1 rank lost", r, res.Stats.Resilience)
+		}
+		if len(res.Stats.Resilience.Deaths) != 1 || res.Stats.Resilience.Deaths[0].Rank != victim {
+			t.Errorf("survivor %d death record = %+v, want rank %d", r, res.Stats.Resilience.Deaths, victim)
+		}
+		survivors = append(survivors, meshBytes(t, res))
+	}
+	if results[0].Stats.Resilience.TasksRequeued < 1 {
+		t.Errorf("root requeued %d tasks, want >= 1", results[0].Stats.Resilience.TasksRequeued)
+	}
+	for i := 1; i < len(survivors); i++ {
+		if !bytes.Equal(survivors[i], survivors[0]) {
+			t.Errorf("survivor meshes disagree (%d vs %d bytes)", len(survivors[i]), len(survivors[0]))
+		}
 	}
 }

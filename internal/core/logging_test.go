@@ -87,7 +87,7 @@ func TestEngineRunFailureLogged(t *testing.T) {
 
 	boom := errors.New("injected task failure")
 	cfg := smallConfig(1)
-	cfg.testTaskHook = func(stage string, kind int) error {
+	cfg.TaskHook = func(stage string, kind int) error {
 		return boom
 	}
 	if _, err := eng.Run(context.Background(), cfg); err == nil {

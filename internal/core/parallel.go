@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -23,13 +24,14 @@ import (
 // balancer's range).
 const (
 	tagResult = iota + 200
-	// tagErrSync and the slot after it carry the post-phase failure
-	// agreement of multi-process runs (an Allreduce, which consumes two
-	// consecutive tags).
+	// tagErrSync carries each worker's post-phase failure flag to the
+	// root in multi-process runs (the collect leg of the star-shaped
+	// agreement; the slot after it is reserved from the protocol's
+	// earlier Allreduce-based shape).
 	tagErrSync
 	_
-	// tagResultSync carries the root's re-broadcast of the collected
-	// results in multi-process runs.
+	// tagResultSync carries the root's combined verdict + result payload
+	// back to each worker (the distribute leg of the agreement).
 	tagResultSync
 )
 
@@ -318,8 +320,8 @@ func (r *taskResult) wireBytes() int { return 8 * (1 + len(r.tris)) }
 // the rank it occurred on.
 func runDistributed(rc *RunCtx, stage string, tasks []loadbal.Task, tctx taskCtx) ([][]float64, error) {
 	cfg := rc.cfg
-	if cfg.testTaskHook != nil {
-		hook := cfg.testTaskHook
+	if cfg.TaskHook != nil {
+		hook := cfg.TaskHook
 		tctx.hook = func(kind int) error { return hook(stage, kind) }
 	}
 	tr := rc.tracer
@@ -362,6 +364,7 @@ func runDistributed(rc *RunCtx, stage string, tasks []loadbal.Task, tctx taskCtx
 
 	opt := loadbal.DefaultOptions(totalCost(tasks), cfg.Ranks)
 	opt.Tracer = tr
+	wireRecovery(&opt, world, tasks, initial)
 	err := world.RunCtx(rc.ctx, func(c *mpi.Comm) error {
 		// Per-rank context copy: the kernel worker spans of a task executed
 		// here must land on this rank's tracer track.
@@ -438,11 +441,13 @@ func runDistributed(rc *RunCtx, stage string, tasks []loadbal.Task, tctx taskCtx
 	// Drain the results at the root (they were all enqueued before the
 	// balancer's termination: each rank's result sends precede its
 	// completion signals on the same ordered channel, and the balancer
-	// terminates only after the root has observed every completion). In a
+	// terminates only after the root has observed every completion —
+	// re-queued tasks may deliver a duplicate result, counted once). In a
 	// multi-process run the drain is followed by the failure agreement and
-	// the root's re-broadcast of the full result set, so every process
+	// the root's re-distribution of the full result set, so every process
 	// leaves the phase with identical state.
 	results := make([][]float64, len(tasks))
+	have := make([]bool, len(tasks))
 	collected := 0
 	agreedErrRank := -1
 	err = world.RunCtx(rc.ctx, func(c *mpi.Comm) error {
@@ -452,53 +457,45 @@ func runDistributed(rc *RunCtx, stage string, tasks []loadbal.Task, tctx taskCtx
 				if !ok {
 					break
 				}
+				var id int
+				var tris []float64
 				switch p := ref.(type) {
 				case *taskResult:
-					results[p.id] = p.tris
+					id, tris = int(p.id), p.tris
 				case []byte:
 					vals := mpi.DecodeFloats(p)
-					results[int(vals[0])] = vals[1:]
+					id, tris = int(vals[0]), vals[1:]
+				default:
+					continue
 				}
+				if id < 0 || id >= len(tasks) || have[id] {
+					continue
+				}
+				have[id] = true
+				results[id] = tris
 				collected++
 			}
 		}
 		if !world.MultiProcess() {
 			return nil
 		}
-		flag := -1.0
 		mu.Lock()
-		if taskErr != nil {
-			flag = float64(c.Rank())
-		}
+		localFail := taskErr != nil
 		mu.Unlock()
-		agreed, aerr := c.Allreduce(rc.ctx, tagErrSync, []float64{flag}, mpi.OpMax)
-		if aerr != nil {
-			return aerr
-		}
-		if agreed[0] >= 0 {
-			agreedErrRank = int(agreed[0])
-			return nil
-		}
-		var payload []byte
-		if c.Rank() == 0 {
+		rank, aerr := agreePhase(rc, c, localFail, func() ([]byte, error) {
 			if collected != len(tasks) {
-				return fmt.Errorf("collected %d of %d task results", collected, len(tasks))
+				return nil, fmt.Errorf("collected %d of %d task results", collected, len(tasks))
 			}
-			payload = encodeResults(results)
-		}
-		d, berr := c.Bcast(rc.ctx, 0, tagResultSync, payload)
-		if berr != nil {
-			return berr
-		}
-		if c.Rank() != 0 {
-			derr := decodeResultsInto(d, results)
-			mpi.PutBytes(d)
-			if derr != nil {
+			return encodeResults(results), nil
+		}, func(body []byte) error {
+			if derr := decodeResultsInto(body, results); derr != nil {
 				return derr
 			}
 			collected = len(tasks)
-		}
-		return nil
+			return nil
+		})
+		agreedErrRank = rank
+		return aerr
 	})
 	if rc.ctx.Err() != nil {
 		return nil, &PhaseError{Stage: stage, Rank: -1, Err: context.Cause(rc.ctx)}
@@ -524,6 +521,141 @@ func runDistributed(rc *RunCtx, stage string, tasks []loadbal.Task, tctx taskCtx
 	return results, nil
 }
 
+// wireRecovery arms the balancer's task re-queue path for multi-process
+// runs: Assign mirrors the round-robin deal so the root knows every
+// task's initial owner without a startup report, and Lookup
+// re-materializes a task by ID when its owner dies. In-process worlds
+// share fate across all ranks, so recovery stays off and the options
+// carry no extra allocations.
+func wireRecovery(opt *loadbal.Options, world *mpi.World, tasks []loadbal.Task, initial [][]loadbal.Task) {
+	if !world.MultiProcess() {
+		return
+	}
+	assign := make(map[int32]int, len(tasks))
+	byID := make(map[int32]loadbal.Task, len(tasks))
+	for r, share := range initial {
+		for _, t := range share {
+			assign[t.ID] = r
+			byID[t.ID] = t
+		}
+	}
+	opt.Assign = assign
+	opt.Lookup = func(id int32) (loadbal.Task, bool) {
+		t, ok := byID[id]
+		return t, ok
+	}
+}
+
+// agreePhase is the post-phase agreement of multi-process runs: every
+// process must leave a distributed phase with the same verdict (which
+// rank, if any, failed a task) and, on success, the same result set.
+// The exchange is star-shaped — each worker sends its failure flag to
+// the root and receives a combined verdict+results payload back — so it
+// stays correct when survivors hold different views of the membership:
+// every leg is a direct root<->worker exchange, and a leg to or from a
+// dead rank fails fast with RankDeadError, which the root tolerates
+// inline. Tree-shaped collectives would deadlock here when a process
+// that has not yet observed a death waits on a parent that the
+// better-informed root routed around.
+//
+// complete runs only on the root once no rank reported failure; it
+// returns the encoded result payload. install runs on each worker with
+// the root's result bytes. The returned rank is the agreed failing rank
+// (-1 for a clean phase), identical on every surviving process.
+func agreePhase(rc *RunCtx, c *mpi.Comm, localFail bool,
+	complete func() ([]byte, error), install func([]byte) error) (int, error) {
+	if c.Rank() != 0 {
+		flag := -1.0
+		if localFail {
+			flag = float64(c.Rank())
+		}
+		if err := c.Send(0, tagErrSync, mpi.EncodeFloats([]float64{flag})); err != nil {
+			return -1, err
+		}
+		buf, _, _, err := c.Recv(rc.ctx, 0, tagResultSync)
+		if err != nil {
+			return -1, err
+		}
+		if len(buf) < 8 {
+			mpi.PutBytes(buf)
+			return -1, fmt.Errorf("core: short agreement payload (%d bytes)", len(buf))
+		}
+		verdict := int(mpi.DecodeFloats(buf[:8])[0])
+		if verdict >= 0 {
+			mpi.PutBytes(buf)
+			return verdict, nil
+		}
+		ierr := install(buf[8:])
+		mpi.PutBytes(buf)
+		return -1, ierr
+	}
+
+	// Root: collect the live workers' flags, tolerating deaths mid-phase
+	// (a dead worker's flag simply never factors in; its tasks were
+	// re-queued by the balancer, so the results are complete without it).
+	fail := -1
+	if localFail {
+		fail = 0
+	}
+	for r := 1; r < c.Size(); r++ {
+		if !c.Alive(r) {
+			continue
+		}
+		buf, _, _, err := c.Recv(rc.ctx, r, tagErrSync)
+		if err != nil {
+			var de *mpi.RankDeadError
+			if errors.As(err, &de) {
+				continue
+			}
+			return -1, err
+		}
+		if len(buf) >= 8 {
+			if v := int(mpi.DecodeFloats(buf[:8])[0]); v > fail {
+				fail = v
+			}
+		}
+		mpi.PutBytes(buf)
+	}
+	var body []byte
+	var completeErr error
+	if fail < 0 {
+		body, completeErr = complete()
+		if completeErr != nil {
+			// Unblock the workers with a root-attributed failure verdict,
+			// then surface the real error locally.
+			fail = 0
+			body = nil
+		}
+	}
+	for r := 1; r < c.Size(); r++ {
+		if !c.Alive(r) {
+			continue
+		}
+		// Each worker gets its own payload copy: the fabric returns sent
+		// buffers to the pool on delivery, so one shared slice across
+		// sends would be a use-after-free.
+		msg := mpi.GetBytes(8 + len(body))
+		encodeFloatsTo(msg[:8], float64(fail))
+		copy(msg[8:], body)
+		if err := c.Send(r, tagResultSync, msg); err != nil {
+			var de *mpi.RankDeadError
+			if !errors.As(err, &de) {
+				return -1, err
+			}
+		}
+	}
+	if completeErr != nil {
+		return -1, completeErr
+	}
+	return fail, nil
+}
+
+// encodeFloatsTo writes one float64 into an 8-byte destination slot
+// using the fabric's wire encoding.
+func encodeFloatsTo(dst []byte, v float64) {
+	copy(dst, mpi.EncodeFloats([]float64{v}))
+}
+
 // foldBalancer folds one distributed stage's per-rank execution summary
 // and balancer counters into the run statistics: the raw records append
 // to Stats.LoadBalance, the steal and idle totals accumulate into
@@ -541,6 +673,10 @@ func (rc *RunCtx) foldBalancer(perRank []RankStat, balStats []loadbal.Stats) {
 		rc.stats.Steals.Granted += balStats[r].StealsGranted
 		rc.stats.Steals.Gotten += balStats[r].StealsGotten
 		rc.stats.Steals.Idle += balStats[r].IdleTime
+		// Recovery counters are root-only in each phase's stats; summing
+		// over ranks folds exactly the root's observations.
+		rc.stats.Resilience.TasksRequeued += balStats[r].Requeued
+		rc.stats.Resilience.RecoveryWall += balStats[r].RecoveryTime
 	}
 	rc.stats.LoadBalance = append(rc.stats.LoadBalance, balStats...)
 	rc.stageRanks = perRank

@@ -92,6 +92,11 @@ func foldMetrics(m *trace.Metrics, st *Stats) {
 	m.Gauge("wire.messages", float64(st.Messages))
 	m.Gauge("wire.bytes", float64(st.BytesOnWire))
 	m.Gauge("mesh.triangles", float64(st.TotalTriangles))
+	if st.Resilience.RanksLost > 0 || st.Resilience.TasksRequeued > 0 {
+		m.Count("fabric.rank_deaths", int64(st.Resilience.RanksLost))
+		m.Count("fabric.tasks_requeued", int64(st.Resilience.TasksRequeued))
+		m.Gauge("fabric.recovery_seconds", st.Resilience.RecoveryWall.Seconds())
+	}
 }
 
 // graph resolves the configured geometry: the custom PSLG when set,

@@ -49,7 +49,7 @@ func cancelDuring(t *testing.T, stage string) error {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	cfg := smallConfig(2)
-	cfg.testTaskHook = func(s string, kind int) error {
+	cfg.TaskHook = func(s string, kind int) error {
 		if s == stage {
 			cancel()
 		}
@@ -113,7 +113,7 @@ func TestCancelBeforeFirstStage(t *testing.T) {
 func TestTaskFailureAttribution(t *testing.T) {
 	boom := errors.New("injected task failure")
 	cfg := smallConfig(3)
-	cfg.testTaskHook = func(stage string, kind int) error {
+	cfg.TaskHook = func(stage string, kind int) error {
 		if stage == StageInviscid && kind == kindInviscid {
 			return boom
 		}

@@ -197,7 +197,7 @@ func TestTracedCancellationClosesSpans(t *testing.T) {
 	cfg := smallConfig(2)
 	tr := trace.New(cfg.Ranks)
 	cfg.Tracer = tr
-	cfg.testTaskHook = func(s string, kind int) error {
+	cfg.TaskHook = func(s string, kind int) error {
 		if s == StageInviscid {
 			cancel()
 		}

@@ -12,6 +12,7 @@ package loadbal
 import (
 	"container/heap"
 	"context"
+	"errors"
 	"math"
 	"sync"
 	"time"
@@ -52,6 +53,10 @@ const (
 	tagGrant
 	tagDeny
 	tagComplete
+	// tagMoved is the grant acknowledgement of multi-process runs: after a
+	// successful grant the granter reports {task, new owner} to the root,
+	// which keeps the root's ownership map fresh for dead-rank re-queue.
+	tagMoved
 	tagTerminate
 )
 
@@ -68,6 +73,18 @@ type Options struct {
 	// the local queue cost as a counter series. Disabled (nil) costs the
 	// hot paths a single nil check.
 	Tracer *trace.Tracer
+	// Assign is the initial task→owner map of the caller's deal. With
+	// Assign and Lookup set, the root of a multi-process run tracks task
+	// ownership (grants re-report via tagMoved) and, when a rank dies,
+	// re-materializes its unfinished tasks through Lookup onto the root's
+	// own queue — stealing then redistributes them across the survivors.
+	// Re-queued tasks execute at-least-once: a task granted moments before
+	// the granter died may run twice, which is safe because every task is
+	// deterministic and completions are de-duplicated by ID.
+	Assign map[int32]int
+	// Lookup re-materializes a task by ID for the re-queue path (the
+	// caller holds the full task list; the root only learns IDs).
+	Lookup func(id int32) (Task, bool)
 }
 
 // DefaultOptions returns the tuning used by the pipeline.
@@ -86,6 +103,12 @@ type Stats struct {
 	StealsGranted int // requests this rank satisfied for others
 	StealsGotten  int // tasks this rank received from others
 	IdleTime      time.Duration
+	// Dead-rank recovery (root only): ranks whose death this run handled,
+	// tasks re-queued onto survivors, and the wall time between the first
+	// death observed and the run's termination.
+	RanksLost    int
+	Requeued     int
+	RecoveryTime time.Duration
 }
 
 // taskQueue is a max-heap: boundary-layer tasks first, then by cost.
@@ -213,6 +236,13 @@ func Run(ctx context.Context, c *mpi.Comm, win *mpi.Window, initial []Task, tota
 		st.push(t)
 	}
 
+	multi := c.World().MultiProcess()
+	// Dead-rank recovery is root-side state: the ownership map starts as
+	// the caller's deal and grant acknowledgements keep it fresh, so when
+	// a rank dies the root knows exactly which unfinished tasks to
+	// re-materialize onto the survivors.
+	recoverOn := multi && c.Rank() == 0 && opt.Lookup != nil && opt.Assign != nil
+
 	var stats Stats
 	var statsMu sync.Mutex
 	var runErr error // set by the communicator on abort, under statsMu
@@ -261,11 +291,18 @@ func Run(ctx context.Context, c *mpi.Comm, win *mpi.Window, initial []Task, tota
 				stats.Failed++
 			}
 			statsMu.Unlock()
-			// Report the completion to the root's termination counter. A
-			// failed send means the world is tearing down; stop draining —
-			// the communicator observes the same closure and cancels the
+			// Report the completion to the root's termination counter; in a
+			// multi-process run the completion carries the task ID so the
+			// root can de-duplicate at-least-once re-queued tasks and retire
+			// the ownership entry. A failed send means the root is gone
+			// (quorum loss) or the world is tearing down; stop draining —
+			// the communicator observes the same condition and cancels the
 			// queue, so just park until then.
-			if err := c.Send(0, tagComplete, nil); err != nil {
+			var completion []byte
+			if multi {
+				completion = mpi.EncodeFloats([]float64{float64(t.ID)})
+			}
+			if err := c.Send(0, tagComplete, completion); err != nil {
 				st.cancel()
 				return
 			}
@@ -285,7 +322,34 @@ func Run(ctx context.Context, c *mpi.Comm, win *mpi.Window, initial []Task, tota
 		}
 		completed := 0 // root only
 		awaitingGrant := false
+		awaitingFrom := -1
 		lastLoad := math.NaN() // NaN compares unequal, forcing the first sample
+		// Root-side recovery state: current owner per unfinished task,
+		// completions seen by ID, ranks whose death is already handled, and
+		// the first-death timestamp for the recovery-wall stat.
+		var owner map[int32]int
+		var doneID map[int32]bool
+		var handledDead []bool
+		var recoveryStart time.Time
+		// The recovery span opens when the first death is handled and closes
+		// at termination; the deferred guard closes it on the abort paths so
+		// a torn-down run never leaks an open span.
+		var recoverSp trace.Span
+		recoverOpen := false
+		defer func() {
+			if recoverOpen {
+				recoverSp.End(trace.I("aborted", 1))
+			}
+		}()
+		if recoverOn {
+			owner = make(map[int32]int, len(opt.Assign))
+			for id, r := range opt.Assign {
+				owner[id] = r
+			}
+			doneID = make(map[int32]bool, totalTasks)
+			handledDead = make([]bool, c.Size())
+			handledDead[c.Rank()] = true
+		}
 		for {
 			// Teardown and cancellation are level-triggered: checked once
 			// per poll iteration, so an abort is noticed within one Poll
@@ -323,6 +387,13 @@ func Run(ctx context.Context, c *mpi.Comm, win *mpi.Window, initial []Task, tota
 								grantSp.End(trace.I("undelivered", 1))
 							}
 							break
+						}
+						// Acknowledge the ownership transfer to the root so a
+						// later death of either party re-queues the right
+						// tasks. Best-effort: a lost ack at worst re-runs the
+						// task once (at-least-once semantics).
+						if multi {
+							_ = c.Send(0, tagMoved, mpi.EncodeFloats([]float64{float64(t.ID), float64(src)}))
 						}
 						if tr.Enabled() {
 							// The flow arrow starts inside the grant span so
@@ -363,15 +434,96 @@ func Run(ctx context.Context, c *mpi.Comm, win *mpi.Window, initial []Task, tota
 					}
 					awaitingGrant = false
 				case tagComplete:
+					if recoverOn {
+						if b, ok := data.([]byte); ok && len(b) >= 8 {
+							id := int32(mpi.DecodeFloats(b[:8])[0])
+							if !doneID[id] {
+								doneID[id] = true
+								delete(owner, id)
+								completed++
+							}
+							break
+						}
+					}
 					completed++
+				case tagMoved:
+					if recoverOn {
+						if b, ok := data.([]byte); ok && len(b) >= 16 {
+							v := mpi.DecodeFloats(b[:16])
+							if id := int32(v[0]); !doneID[id] {
+								owner[id] = int(v[1])
+							}
+						}
+					}
 				case tagTerminate:
 					st.terminate()
 					return
 				}
 			}
-			if c.Rank() == 0 && completed == totalTasks {
+			// Fold rank deaths into the termination accounting: every
+			// unfinished task owned by a newly dead rank is re-materialized
+			// onto the root's own queue, where stealing redistributes it
+			// across the survivors. Detected level-triggered once per poll,
+			// like teardown.
+			if recoverOn {
 				for r := 0; r < c.Size(); r++ {
+					if handledDead[r] || c.Alive(r) {
+						continue
+					}
+					handledDead[r] = true
+					if recoveryStart.IsZero() {
+						recoveryStart = time.Now()
+						if tr.Enabled() {
+							recoverSp = tr.Begin(c.Rank(), trace.CatRecover, "recovery")
+							recoverOpen = true
+						}
+					}
+					requeued := 0
+					for id, own := range owner {
+						if own != r {
+							continue
+						}
+						t, ok := opt.Lookup(id)
+						if !ok {
+							continue
+						}
+						owner[id] = c.Rank()
+						st.push(t)
+						requeued++
+					}
+					if tr.Enabled() {
+						tr.Instant(c.Rank(), trace.CatRecover, "rank-dead",
+							trace.I("rank", r), trace.I("requeued", requeued))
+						tr.Metrics().Observe("loadbal.requeued", float64(requeued))
+					}
+					statsMu.Lock()
+					stats.RanksLost++
+					stats.Requeued += requeued
+					statsMu.Unlock()
+				}
+			}
+			if c.Rank() == 0 && completed == totalTasks {
+				if recoverOn && !recoveryStart.IsZero() {
+					statsMu.Lock()
+					stats.RecoveryTime = time.Since(recoveryStart)
+					lost, requeued := stats.RanksLost, stats.Requeued
+					statsMu.Unlock()
+					if recoverOpen {
+						recoverSp.End(trace.I("ranks_lost", lost), trace.I("requeued", requeued))
+						recoverOpen = false
+					}
+				}
+				for r := 0; r < c.Size(); r++ {
+					if multi && !c.Alive(r) {
+						continue
+					}
 					if err := c.Send(r, tagTerminate, nil); err != nil {
+						// A rank that died between the liveness check and the
+						// send is no reason to fail the survivors.
+						var de *mpi.RankDeadError
+						if multi && errors.As(err, &de) {
+							continue
+						}
 						abort(err)
 						return
 					}
@@ -388,13 +540,20 @@ func Run(ctx context.Context, c *mpi.Comm, win *mpi.Window, initial []Task, tota
 				tr.Metrics().Observe("loadbal.queue_cost", load)
 				lastLoad = load
 			}
+			// A pending steal request aimed at a rank that has since died
+			// will never be answered; clear it so this rank keeps stealing
+			// from the survivors.
+			if awaitingGrant && multi && awaitingFrom >= 0 && !c.Alive(awaitingFrom) {
+				awaitingGrant = false
+			}
 			// Steal when underloaded: fetch the window (MPI_Get) and ask
-			// the most loaded rank.
+			// the most loaded rank. Dead ranks are skipped — their window
+			// slots hold the stale last value they published.
 			if !awaitingGrant && load < opt.StealBelow {
 				loads := win.Get()
 				victim, best := -1, opt.StealBelow
 				for r, l := range loads {
-					if r != c.Rank() && l > best {
+					if r != c.Rank() && l > best && (!multi || c.Alive(r)) {
 						victim, best = r, l
 					}
 				}
@@ -405,6 +564,7 @@ func Run(ctx context.Context, c *mpi.Comm, win *mpi.Window, initial []Task, tota
 								trace.I("victim", victim), trace.F("load", load))
 						}
 						awaitingGrant = true
+						awaitingFrom = victim
 						statsMu.Lock()
 						stats.StealRequests++
 						statsMu.Unlock()

@@ -153,3 +153,112 @@ func TestStealingOverTCP(t *testing.T) {
 		t.Errorf("only %d processes did any work", busy)
 	}
 }
+
+// TestRecoveryOverTCP kills one worker of a 3-process loopback fabric
+// mid-run and checks the balancer completes on the survivors: the root
+// re-queues the dead rank's unfinished tasks (at-least-once semantics),
+// every task executes, and the recovery counters land in the root's
+// stats.
+func TestRecoveryOverTCP(t *testing.T) {
+	const ranks = 3
+	const total = 12
+	const victim = 2
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	clusters, err := mpi.LoopbackClusters(ctx, ranks)
+	if err != nil {
+		t.Fatalf("LoopbackClusters: %v", err)
+	}
+	byRank := make([]*mpi.Cluster, ranks)
+	for _, cl := range clusters {
+		byRank[cl.Rank()] = cl
+	}
+	defer func() {
+		for r, cl := range byRank {
+			if r != victim {
+				cl.Close()
+			}
+		}
+	}()
+
+	// Every process computes the identical deal (the SPMD contract) and
+	// the root additionally learns the ownership map from it.
+	byID := map[int32]Task{}
+	assign := map[int32]int{}
+	initial := make([][]Task, ranks)
+	for i := 0; i < total; i++ {
+		tk := Task{ID: int32(i), Cost: 20, Vals: []float64{float64(i), 0.5}}
+		byID[tk.ID] = tk
+		assign[tk.ID] = i % ranks
+		initial[i%ranks] = append(initial[i%ranks], tk)
+	}
+	opt := Options{
+		StealBelow: 1,
+		Poll:       100 * time.Microsecond,
+		Assign:     assign,
+		Lookup:     func(id int32) (Task, bool) { tk, ok := byID[id]; return tk, ok },
+	}
+
+	victimStarted := make(chan struct{})
+	var startOnce sync.Once
+	var mu sync.Mutex
+	processed := map[int32]int{}
+	stats := make([]Stats, ranks)
+	errs := make([]error, ranks)
+
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int, cl *mpi.Cluster) {
+			defer wg.Done()
+			w := cl.NewWorld()
+			errs[r] = w.RunCtx(ctx, func(c *mpi.Comm) error {
+				win := w.NewWindow(c.Size())
+				st, err := Run(ctx, c, win, initial[c.Rank()], total, opt, func(task Task) {
+					if c.Rank() == victim {
+						// Park so the kill lands while this rank still owns
+						// unfinished work; the signal fires before the sleep so
+						// the in-flight task is never completed by the victim.
+						startOnce.Do(func() { close(victimStarted) })
+						time.Sleep(30 * time.Millisecond)
+					}
+					mu.Lock()
+					processed[task.ID]++
+					mu.Unlock()
+				})
+				mu.Lock()
+				stats[c.Rank()] = st
+				mu.Unlock()
+				return err
+			})
+		}(r, byRank[r])
+	}
+
+	<-victimStarted
+	// SIGKILL stand-in: the victim's process vanishes mid-task.
+	byRank[victim].Close()
+	wg.Wait()
+
+	for r, err := range errs {
+		if r != victim && err != nil {
+			t.Fatalf("survivor %d: %v", r, err)
+		}
+	}
+	for i := 0; i < total; i++ {
+		if processed[int32(i)] < 1 {
+			t.Errorf("task %d never processed", i)
+		}
+	}
+	mu.Lock()
+	root := stats[0]
+	mu.Unlock()
+	if root.RanksLost != 1 {
+		t.Errorf("root RanksLost = %d, want 1", root.RanksLost)
+	}
+	if root.Requeued < 1 {
+		t.Errorf("root Requeued = %d, want >= 1", root.Requeued)
+	}
+	if root.RecoveryTime <= 0 {
+		t.Errorf("root RecoveryTime = %v, want > 0", root.RecoveryTime)
+	}
+}

@@ -17,6 +17,7 @@ package mpi
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -177,15 +178,24 @@ func (cl *Cluster) PingRank(ctx context.Context, rank, rounds int) (ClockSync, e
 	return out, nil
 }
 
-// MeasureOffsets pings every peer rank `rounds` times from this process
-// (rank 0 in the launcher topology) and returns the per-rank clock
-// alignments, own rank included with a zero offset. On in-process
-// clusters every offset is zero: all ranks share one clock.
+// MeasureOffsets pings every live peer rank `rounds` times from this
+// process (rank 0 in the launcher topology) and returns the per-rank
+// clock alignments, own rank included with a zero offset. Dead ranks are
+// omitted — a degraded run still aligns the survivors' clocks. On
+// in-process clusters every offset is zero: all ranks share one clock.
 func (cl *Cluster) MeasureOffsets(ctx context.Context, rounds int) ([]ClockSync, error) {
 	out := make([]ClockSync, 0, cl.n)
 	for r := 0; r < cl.n; r++ {
+		if !cl.Alive(r) {
+			continue
+		}
 		cs, err := cl.PingRank(ctx, r, rounds)
 		if err != nil {
+			// A rank that died mid-measurement is a skip, not a failure.
+			var de *RankDeadError
+			if errors.As(err, &de) {
+				continue
+			}
 			return out, err
 		}
 		out = append(out, cs)
@@ -298,19 +308,47 @@ func (b *cbarrier) await() error {
 }
 
 // enter records one rank's arrival at barrier seq on the coordinator and
-// releases the barrier once all n ranks have arrived.
+// releases the barrier once every live rank has arrived. The tally can
+// exceed the live target when a rank entered and then died (hence >=),
+// and the seq <= b.seq guard keeps a shrunken target from releasing a
+// barrier the coordinator's own rank has not reached yet.
 func (b *cbarrier) enter(seq uint64) {
 	b.mu.Lock()
 	if b.tally == nil {
 		b.tally = make(map[uint64]int)
 	}
 	b.tally[seq]++
-	complete := b.tally[seq] == b.w.n
+	complete := b.tally[seq] >= b.w.liveCount() && seq <= b.seq
 	if complete {
 		delete(b.tally, seq)
 	}
 	b.mu.Unlock()
 	if complete {
+		b.w.cl.tcp.broadcastCtrl(frame{kind: frameBarrierRelease, epoch: b.w.epoch, seq: seq})
+		b.release(seq)
+	}
+}
+
+// rankDied re-evaluates pending tallies on the coordinator after a
+// membership loss: a barrier whose every surviving rank has already
+// entered releases now instead of waiting forever for the dead rank.
+func (b *cbarrier) rankDied() {
+	if b.w.cl == nil || b.w.cl.rank != 0 {
+		return
+	}
+	b.mu.Lock()
+	target := b.w.liveCount()
+	var done []uint64
+	for seq, k := range b.tally {
+		if k >= target && seq <= b.seq {
+			done = append(done, seq)
+		}
+	}
+	for _, seq := range done {
+		delete(b.tally, seq)
+	}
+	b.mu.Unlock()
+	for _, seq := range done {
 		b.w.cl.tcp.broadcastCtrl(frame{kind: frameBarrierRelease, epoch: b.w.epoch, seq: seq})
 		b.release(seq)
 	}

@@ -7,7 +7,10 @@ package mpi
 // code. Each takes a context governing its blocking receives and returns
 // an error when the wait is cut short (cancellation or world teardown).
 
-import "context"
+import (
+	"context"
+	"errors"
+)
 
 // Op is a reduction operator over float64.
 type Op func(a, b float64) float64
@@ -46,7 +49,10 @@ func (c *Comm) Reduce(ctx context.Context, root, tag int, data []float64, op Op)
 		return nil, nil
 	}
 	acc := append([]float64{}, data...)
-	for i := 0; i < c.world.n-1; i++ {
+	// One contribution per live non-root rank: ranks dead at world
+	// creation are planned around, a death mid-reduce fails the blocking
+	// receive with the typed *RankDeadError.
+	for i := 0; i < c.world.liveCount()-1; i++ {
 		d, _, _, err := c.Recv(ctx, AnySource, tag)
 		if err != nil {
 			return nil, err
@@ -104,6 +110,9 @@ func (c *Comm) Bcast(ctx context.Context, root, tag int, data []byte) ([]byte, e
 	if n == 1 {
 		return data, nil
 	}
+	if c.world.MultiProcess() && c.world.liveCount() < n {
+		return c.bcastLive(ctx, root, tag, data)
+	}
 	vr := c.rank - root
 	if vr < 0 {
 		vr += n
@@ -118,6 +127,64 @@ func (c *Comm) Bcast(ctx context.Context, root, tag int, data []byte) ([]byte, e
 	}
 	for _, child := range bcastChildren(vr, n, nil) {
 		to := (child + root) % n
+		payload := data
+		if !c.world.rankIsLocal(to) && len(data) > 0 {
+			payload = GetBytes(len(data))
+			copy(payload, data)
+		}
+		if err := c.Send(to, tag, payload); err != nil {
+			if !sameSlice(payload, data) {
+				PutBytes(payload)
+			}
+			return nil, err
+		}
+	}
+	return data, nil
+}
+
+// bcastLive is the degraded-membership broadcast: the binomial tree is
+// built over the sorted live rank set (dead ranks hold no tree position,
+// so no rank ever waits on or forwards to one). With every rank live it
+// is never entered, keeping the full-membership wire behavior — and its
+// byte stream — untouched.
+func (c *Comm) bcastLive(ctx context.Context, root, tag int, data []byte) ([]byte, error) {
+	live := c.world.LiveRanks()
+	m := len(live)
+	if m <= 1 {
+		return data, nil
+	}
+	idx := func(rank int) int {
+		for i, r := range live {
+			if r == rank {
+				return i
+			}
+		}
+		return -1
+	}
+	ri := idx(root)
+	if ri < 0 {
+		return nil, &RankDeadError{Rank: root, Err: c.world.deadCause(root)}
+	}
+	self := idx(c.rank)
+	if self < 0 {
+		// Unreachable in practice — a node never declares its own rank
+		// dead — but fail loudly rather than mis-route the tree.
+		return nil, &RankDeadError{Rank: c.rank, Err: errors.New("local rank marked dead")}
+	}
+	vr := self - ri
+	if vr < 0 {
+		vr += m
+	}
+	if vr != 0 {
+		parent := live[(bcastParent(vr)+ri)%m]
+		d, _, _, err := c.Recv(ctx, parent, tag)
+		if err != nil {
+			return nil, err
+		}
+		data = d
+	}
+	for _, child := range bcastChildren(vr, m, nil) {
+		to := live[(child+ri)%m]
 		payload := data
 		if !c.world.rankIsLocal(to) && len(data) > 0 {
 			payload = GetBytes(len(data))
@@ -166,7 +233,7 @@ func sameSlice(a, b []byte) bool {
 func (c *Comm) Scatter(ctx context.Context, root, tag int, chunks [][]byte) ([]byte, error) {
 	if c.rank == root {
 		for r := 0; r < c.world.n; r++ {
-			if r != root {
+			if r != root && c.world.Alive(r) {
 				if err := c.Send(r, tag, chunks[r]); err != nil {
 					return nil, err
 				}

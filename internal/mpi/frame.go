@@ -40,6 +40,18 @@ const (
 	// tracks + metrics) to rank 0 at the end of a run, payload typed by
 	// the codec registry like frameMsg.
 	frameTelemetry
+	// frameHeartbeat is a node-level keepalive carrying the sender's rank:
+	// each process sends one to every live peer on a fixed interval so the
+	// read-deadline-based death detector has traffic to observe even while
+	// a link is idle through a long compute phase. No world epoch
+	// semantics; receivers consume it silently.
+	frameHeartbeat
+	// frameRankDead is a membership event: the sender has declared `rank`
+	// dead (link error or heartbeat timeout) with a bounded cause text.
+	// Receivers fold it into their own membership view so the fabric
+	// converges on the new live set without every node waiting out its own
+	// timeout.
+	frameRankDead
 )
 
 // maxFrameLen caps a frame body; decoders reject anything larger before
@@ -146,6 +158,15 @@ func appendFrame(dst []byte, f frame) []byte {
 		dst = appendI32(dst, f.rank)
 		dst = binary.LittleEndian.AppendUint16(dst, uint16(f.codec))
 		dst = append(dst, f.payload...)
+	case frameHeartbeat:
+		dst = appendI32(dst, f.rank)
+	case frameRankDead:
+		cause := f.cause
+		if len(cause) > maxCauseLen {
+			cause = cause[:maxCauseLen]
+		}
+		dst = appendI32(dst, f.rank)
+		dst = append(dst, cause...)
 	default:
 		panic(fmt.Sprintf("mpi: encoding unknown frame kind %d", f.kind))
 	}
@@ -326,6 +347,24 @@ func decodeFrameBody(b []byte) (frame, error) {
 			return f, fmt.Errorf("mpi: telemetry frame without a codec")
 		}
 		f.payload = c.b[c.off:]
+	case frameHeartbeat:
+		if f.rank, err = c.i32(); err != nil {
+			return f, err
+		}
+		if f.rank < 0 {
+			return f, fmt.Errorf("mpi: heartbeat from negative rank %d", f.rank)
+		}
+	case frameRankDead:
+		if f.rank, err = c.i32(); err != nil {
+			return f, err
+		}
+		if f.rank < 0 {
+			return f, fmt.Errorf("mpi: death notice for negative rank %d", f.rank)
+		}
+		if c.remain() > maxCauseLen {
+			return f, fmt.Errorf("mpi: death cause of %d bytes exceeds cap %d", c.remain(), maxCauseLen)
+		}
+		f.cause = string(c.b[c.off:])
 	default:
 		return f, fmt.Errorf("mpi: unknown frame kind %d", f.kind)
 	}

@@ -43,6 +43,10 @@ func frameEqual(a, b frame) bool {
 		return a.seq == b.seq && a.req == b.req
 	case frameTelemetry:
 		return a.rank == b.rank && a.codec == b.codec && bytes.Equal(a.payload, b.payload)
+	case frameHeartbeat:
+		return a.rank == b.rank
+	case frameRankDead:
+		return a.rank == b.rank && a.cause == b.cause
 	}
 	return false
 }
@@ -50,7 +54,7 @@ func frameEqual(a, b frame) bool {
 func randomFrame(rng *rand.Rand) frame {
 	kinds := []byte{frameMsg, frameWorldClose, frameBarrierEnter, frameBarrierRelease,
 		frameWinPut, frameWinAdd, frameWinGet, frameWinGetReply,
-		framePing, framePong, frameTelemetry}
+		framePing, framePong, frameTelemetry, frameHeartbeat, frameRankDead}
 	f := frame{kind: kinds[rng.Intn(len(kinds))], epoch: rng.Uint64()}
 	switch f.kind {
 	case frameMsg:
@@ -94,6 +98,14 @@ func randomFrame(rng *rand.Rand) frame {
 		f.codec = CodecID(rng.Intn(63) + 1)
 		f.payload = make([]byte, rng.Intn(300))
 		rng.Read(f.payload)
+	case frameHeartbeat:
+		f.rank = rng.Int31n(1 << 20)
+	case frameRankDead:
+		f.rank = rng.Int31n(1 << 20)
+		n := rng.Intn(maxCauseLen + 1)
+		b := make([]byte, n)
+		rng.Read(b)
+		f.cause = string(b)
 	}
 	return f
 }
@@ -155,6 +167,24 @@ func TestFrameDecodeRejects(t *testing.T) {
 		"negative tag":      badTag,
 		"short win reply":   shortReply,
 		"negative win slot": appendFrame(nil, frame{kind: frameWinPut, win: -2, slot: 0})[4:],
+		"negative heartbeat rank": func() []byte {
+			b := appendFrame(nil, frame{kind: frameHeartbeat, rank: 3})[4:]
+			binary.LittleEndian.PutUint32(b[9:], uint32(0xffffffff)) // rank = -1
+			return b
+		}(),
+		"truncated heartbeat": appendFrame(nil, frame{kind: frameHeartbeat, rank: 3})[4:11],
+		"negative dead rank": func() []byte {
+			b := appendFrame(nil, frame{kind: frameRankDead, rank: 2, cause: "gone"})[4:]
+			binary.LittleEndian.PutUint32(b[9:], uint32(0xfffffffe)) // rank = -2
+			return b
+		}(),
+		// appendFrame truncates oversized causes, so build the body by hand.
+		"oversized death cause": func() []byte {
+			b := []byte{frameRankDead}
+			b = appendU64(b, 0)
+			b = appendI32(b, 1)
+			return append(b, bytes.Repeat([]byte{'x'}, maxCauseLen+1)...)
+		}(),
 	}
 	for name, body := range cases {
 		if _, err := decodeFrameBody(body); err == nil {
@@ -174,6 +204,10 @@ func FuzzFrameDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{frameMsg})
 	f.Add([]byte{frameWinGetReply, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 255, 255, 255, 255})
+	f.Add(appendFrame(nil, frame{kind: frameHeartbeat, rank: 2})[4:])
+	f.Add(appendFrame(nil, frame{kind: frameRankDead, rank: 3, cause: "link to rank 3 failed: EOF"})[4:])
+	f.Add([]byte{frameRankDead, 0, 0, 0, 0, 0, 0, 0, 0, 255, 255, 255, 255}) // negative dead rank
+	f.Add([]byte{frameHeartbeat, 0, 0, 0, 0, 0, 0, 0, 0, 7, 0})              // truncated heartbeat rank
 	f.Fuzz(func(t *testing.T, body []byte) {
 		fr, err := decodeFrameBody(body)
 		if err != nil {

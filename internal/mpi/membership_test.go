@@ -1,0 +1,265 @@
+package mpi
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// loopback bootstraps an n-process loopback fabric and returns the
+// cluster handles indexed by their assigned rank (LoopbackClusters
+// returns them in creation order, but JoinTCP ranks are assigned in
+// arrival order).
+func loopbackByRank(t *testing.T, n int) []*Cluster {
+	t.Helper()
+	cls := loopback(t, n)
+	byRank := make([]*Cluster, n)
+	for _, cl := range cls {
+		byRank[cl.Rank()] = cl
+	}
+	return byRank
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestRankDeathMembership kills one worker of a 3-process loopback fabric
+// and checks that the survivors' membership view converges: the dead rank
+// drops out of the live set, the epoch advances, the death is recorded,
+// and sends to it fail fast with the typed error.
+func TestRankDeathMembership(t *testing.T) {
+	ctx := context.Background()
+	cls := loopbackByRank(t, 3)
+
+	w0 := cls[0].NewWorld()
+	w1 := cls[1].NewWorld()
+	_ = cls[2].NewWorld()
+
+	if got := len(cls[0].LiveRanks()); got != 3 {
+		t.Fatalf("live ranks before death: %d, want 3", got)
+	}
+	if cls[0].MembershipEpoch() != 0 {
+		t.Fatalf("membership epoch before death: %d, want 0", cls[0].MembershipEpoch())
+	}
+
+	// SIGKILL stand-in: the process vanishes, its connections reset.
+	cls[2].Close()
+
+	waitFor(t, "rank 0 to declare rank 2 dead", func() bool { return !cls[0].Alive(2) })
+	waitFor(t, "rank 1 to declare rank 2 dead", func() bool { return !cls[1].Alive(2) })
+
+	if cls[0].MembershipEpoch() == 0 {
+		t.Error("membership epoch did not advance on death")
+	}
+	deaths := cls[0].DeadRanks()
+	if len(deaths) != 1 || deaths[0].Rank != 2 || deaths[0].Cause == nil || deaths[0].At.IsZero() {
+		t.Errorf("death record = %+v, want one entry for rank 2 with cause and time", deaths)
+	}
+	if live := cls[0].LiveRanks(); len(live) != 2 || live[0] != 0 || live[1] != 1 {
+		t.Errorf("live ranks = %v, want [0 1]", live)
+	}
+
+	// The open worlds observed the death: Failure reports it, and sends to
+	// the dead rank fail fast with *RankDeadError.
+	waitFor(t, "world 0 to observe the failure", func() bool { return w0.Failure() != nil })
+	var rde *RankDeadError
+	if !errors.As(w0.Failure(), &rde) || rde.Rank != 2 {
+		t.Errorf("world failure = %v, want RankDeadError for rank 2", w0.Failure())
+	}
+	err := w0.RunCtx(ctx, func(c *Comm) error {
+		sendErr := c.Send(2, 7, []byte("hi"))
+		var de *RankDeadError
+		if !errors.As(sendErr, &de) || de.Rank != 2 {
+			t.Errorf("send to dead rank: %v, want RankDeadError for rank 2", sendErr)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = w1
+}
+
+// TestBarrierOverSurvivors opens a world on every process, kills one
+// worker, and checks the cross-process barrier still completes for the
+// survivors — the coordinator re-tallies against the shrunken live set.
+func TestBarrierOverSurvivors(t *testing.T) {
+	ctx := context.Background()
+	cls := loopbackByRank(t, 3)
+
+	w0 := cls[0].NewWorld()
+	w1 := cls[1].NewWorld()
+	_ = cls[2].NewWorld()
+
+	cls[2].Close()
+	waitFor(t, "survivors to notice the death", func() bool {
+		return !cls[0].Alive(2) && !cls[1].Alive(2)
+	})
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i, w := range []*World{w0, w1} {
+		wg.Add(1)
+		go func(i int, w *World) {
+			defer wg.Done()
+			errs[i] = w.RunCtx(ctx, func(c *Comm) error { return c.Barrier() })
+		}(i, w)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("survivor %d barrier: %v", i, err)
+		}
+	}
+}
+
+// TestCollectivesOverSurvivors mints fresh worlds after a death (the
+// recovery path's re-plan step) and checks Allreduce, Bcast, Gather and
+// Barrier all complete over the two survivors of a 3-rank fabric.
+func TestCollectivesOverSurvivors(t *testing.T) {
+	ctx := context.Background()
+	cls := loopbackByRank(t, 3)
+
+	cls[2].Close()
+	waitFor(t, "survivors to notice the death", func() bool {
+		return !cls[0].Alive(2) && !cls[1].Alive(2)
+	})
+
+	w0 := cls[0].NewWorld()
+	w1 := cls[1].NewWorld()
+	if w0.Failure() != nil {
+		t.Fatalf("world minted after death reports failure %v, want nil (born-dead rank is planned around)", w0.Failure())
+	}
+	if w0.Alive(2) || w0.liveCount() != 2 {
+		t.Fatalf("fresh world live view: alive(2)=%v liveCount=%d, want false/2", w0.Alive(2), w0.liveCount())
+	}
+
+	run := func(w *World, rank int, out *[]float64, errp *error) func() {
+		return func() {
+			*errp = w.RunCtx(ctx, func(c *Comm) error {
+				v, err := c.Allreduce(ctx, 10, []float64{float64(rank + 1)}, OpSum)
+				if err != nil {
+					return err
+				}
+				*out = v
+				b, err := c.Bcast(ctx, 0, 20, []byte{42})
+				if err != nil {
+					return err
+				}
+				if len(b) != 1 || b[0] != 42 {
+					t.Errorf("rank %d bcast got %v", rank, b)
+				}
+				if _, err := c.Gather(ctx, 0, 30, []byte{byte(rank)}); err != nil {
+					return err
+				}
+				return c.Barrier()
+			})
+		}
+	}
+	var wg sync.WaitGroup
+	var v0, v1 []float64
+	var e0, e1 error
+	wg.Add(2)
+	go func() { defer wg.Done(); run(w0, 0, &v0, &e0)() }()
+	go func() { defer wg.Done(); run(w1, 1, &v1, &e1)() }()
+	wg.Wait()
+	if e0 != nil || e1 != nil {
+		t.Fatalf("survivor collectives failed: rank0=%v rank1=%v", e0, e1)
+	}
+	// Sum over survivors only: 1 + 2.
+	if len(v0) != 1 || v0[0] != 3 || len(v1) != 1 || v1[0] != 3 {
+		t.Errorf("allreduce over survivors = %v / %v, want [3]", v0, v1)
+	}
+}
+
+// TestRecvFromDeadRankFails checks a blocking receive aimed at a dead
+// rank returns the typed error instead of hanging.
+func TestRecvFromDeadRankFails(t *testing.T) {
+	ctx := context.Background()
+	cls := loopbackByRank(t, 3)
+
+	cls[2].Close()
+	waitFor(t, "rank 0 to notice the death", func() bool { return !cls[0].Alive(2) })
+
+	w0 := cls[0].NewWorld()
+	_ = cls[1].NewWorld()
+	err := w0.RunCtx(ctx, func(c *Comm) error {
+		_, _, _, recvErr := c.Recv(ctx, 2, 5)
+		var de *RankDeadError
+		if !errors.As(recvErr, &de) || de.Rank != 2 {
+			t.Errorf("recv from dead rank: %v, want RankDeadError for rank 2", recvErr)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRootDeathIsQuorumLoss kills rank 0 and checks the worker tears all
+// the way down — the barrier coordinator and window host are gone — with
+// the rank-0 death as the world's close cause.
+func TestRootDeathIsQuorumLoss(t *testing.T) {
+	cls := loopbackByRank(t, 2)
+
+	w1 := cls[1].NewWorld()
+	_ = cls[0].NewWorld()
+	cls[0].Close()
+
+	waitFor(t, "worker world to close on root death", func() bool { return w1.Err() != nil })
+	var de *RankDeadError
+	if !errors.As(w1.Err(), &de) || de.Rank != 0 {
+		t.Errorf("worker close cause = %v, want RankDeadError for rank 0", w1.Err())
+	}
+	if !errors.Is(w1.Err(), ErrWorldClosed) {
+		t.Errorf("worker close cause does not match ErrWorldClosed: %v", w1.Err())
+	}
+}
+
+// TestHeartbeatTimeoutDetectsSilentPeer freezes one peer (heartbeats off,
+// connection left open) and checks the read deadline declares it dead
+// without any link-level error.
+func TestHeartbeatTimeoutDetectsSilentPeer(t *testing.T) {
+	cls := loopbackByRank(t, 2)
+
+	// Rank 1 goes silent: no heartbeats, no deadline of its own (so it
+	// never declares rank 0 dead first). Rank 0 beats fast and expects
+	// traffic within 300ms.
+	cls[1].SetHeartbeat(0, 0)
+	cls[0].SetHeartbeat(20*time.Millisecond, 300*time.Millisecond)
+
+	waitFor(t, "rank 0 to declare the silent rank 1 dead", func() bool { return !cls[0].Alive(1) })
+	deaths := cls[0].DeadRanks()
+	if len(deaths) != 1 || deaths[0].Rank != 1 {
+		t.Fatalf("death record = %+v, want one entry for rank 1", deaths)
+	}
+}
+
+// TestDeathNoticePropagation checks a frameRankDead from a peer folds
+// into the local membership view: rank 1 learns of rank 2's death from
+// rank 0's announcement even if its own link to rank 2 stays quiet.
+func TestDeathNoticePropagation(t *testing.T) {
+	cls := loopbackByRank(t, 3)
+	defer cls[2].Close()
+
+	// Only rank 0 watches for silence; ranks 1 and 2 never time out on
+	// their own, so rank 1 can only learn of 2's death from the notice.
+	cls[0].SetHeartbeat(20*time.Millisecond, 300*time.Millisecond)
+	cls[1].SetHeartbeat(20*time.Millisecond, 0)
+	cls[2].SetHeartbeat(0, 0)
+
+	waitFor(t, "rank 0 to declare rank 2 dead", func() bool { return !cls[0].Alive(2) })
+	waitFor(t, "rank 1 to hear the death notice", func() bool { return !cls[1].Alive(2) })
+}

@@ -180,6 +180,15 @@ type World struct {
 	closeCause error // write-once, guarded by closeMu before closed is set
 	closed     atomic.Bool
 
+	// Membership (wire worlds only; see membership.go): dead[r] holds the
+	// death cause once rank r is gone, deadN counts them, failure is the
+	// first death observed after the world was minted. In-process worlds
+	// never touch any of this.
+	memMu   sync.Mutex
+	dead    []error
+	deadN   int
+	failure atomic.Pointer[RankDeadError]
+
 	windows struct {
 		mu      sync.Mutex
 		list    []*Window
@@ -525,6 +534,20 @@ func (c *Comm) recv(ctx context.Context, from, tag int) (message, error) {
 		if mb.closed {
 			return message{}, c.world.Err()
 		}
+		// A death makes a blocking wait hopeless: a specific source that
+		// is dead will never send again, and after a mid-world death an
+		// AnySource wait cannot tell live stragglers from lost messages —
+		// fail with the typed error so the caller can re-plan. Queued
+		// messages still drain first (the match above runs every pass).
+		if c.world.MultiProcess() {
+			if from >= 0 {
+				if cause := c.world.deadCause(from); cause != nil {
+					return message{}, &RankDeadError{Rank: from, Err: cause}
+				}
+			} else if f := c.world.failure.Load(); f != nil {
+				return message{}, f
+			}
+		}
 		if ctx != nil && ctx.Done() != nil {
 			if ctx.Err() != nil {
 				return message{}, context.Cause(ctx)
@@ -603,14 +626,16 @@ func (c *Comm) Barrier() error {
 
 // Gather sends each rank's data to the root, which receives them in rank
 // order; non-root ranks return nil. This mirrors the paper's gather of
-// boundary-layer point coordinates at the root. The root's wait honors ctx.
+// boundary-layer point coordinates at the root. The root's wait honors
+// ctx. The root expects one contribution per live rank, so a gather over
+// a degraded world completes with the dead ranks' slots left nil.
 func (c *Comm) Gather(ctx context.Context, root, tag int, data []byte) ([][]byte, error) {
 	if c.rank != root {
 		return nil, c.Send(root, tag, data)
 	}
 	out := make([][]byte, c.world.n)
 	out[root] = data
-	for i := 0; i < c.world.n-1; i++ {
+	for i := 0; i < c.world.liveCount()-1; i++ {
 		d, src, _, err := c.Recv(ctx, AnySource, tag)
 		if err != nil {
 			return nil, err

@@ -83,6 +83,24 @@ type tcpNode struct {
 	worlds  map[uint64]*World
 	pending map[uint64][]pendItem
 
+	// Membership view: deadRank[r] holds the death cause once rank r is
+	// declared dead (nil while live), liveN counts survivors, deaths is
+	// the chronological record, and memEpoch advances on every death.
+	memMu    sync.Mutex
+	deadRank []error
+	deaths   []RankDeath
+	liveN    int
+	memEpoch atomic.Uint64
+
+	// Heartbeat cadence (nanoseconds, read atomically so SetHeartbeat can
+	// adjust a running node), the sender goroutine's stop signal, and the
+	// kick SetHeartbeat uses to apply a new interval without waiting out
+	// the old timer.
+	hbInterval atomic.Int64
+	hbTimeout  atomic.Int64
+	hbStop     chan struct{}
+	hbKick     chan struct{}
+
 	getMu   sync.Mutex
 	getReqs map[uint64]chan []float64
 	reqSeq  atomic.Uint64
@@ -116,14 +134,21 @@ func (n *tcpNode) now() int64 {
 }
 
 func newTCPNode(rank, n int) *tcpNode {
-	return &tcpNode{
-		rank:    rank,
-		n:       n,
-		peers:   make([]*tcpPeer, n),
-		worlds:  make(map[uint64]*World),
-		pending: make(map[uint64][]pendItem),
-		getReqs: make(map[uint64]chan []float64),
+	node := &tcpNode{
+		rank:     rank,
+		n:        n,
+		peers:    make([]*tcpPeer, n),
+		worlds:   make(map[uint64]*World),
+		pending:  make(map[uint64][]pendItem),
+		getReqs:  make(map[uint64]chan []float64),
+		deadRank: make([]error, n),
+		liveN:    n,
+		hbStop:   make(chan struct{}),
+		hbKick:   make(chan struct{}, 1),
 	}
+	node.hbInterval.Store(int64(defaultHeartbeatInterval))
+	node.hbTimeout.Store(int64(defaultHeartbeatTimeout))
+	return node
 }
 
 func (n *tcpNode) attach(rank int, conn net.Conn, br *bufio.Reader) {
@@ -138,25 +163,34 @@ func (n *tcpNode) startReaders() {
 		n.wg.Add(1)
 		go n.reader(r, p)
 	}
+	n.startHeartbeats()
 }
 
-// reader drains one peer link for the node's lifetime. Any read or
-// protocol error fails the whole node: a collective fabric with a dead
-// link cannot limp along, so every open world is torn down.
+// reader drains one peer link for the node's lifetime. A read error or
+// deadline expiry declares that one peer dead — membership shrinks, the
+// other links keep running — rather than tearing the whole node down;
+// quorum rules inside rankDied decide when a death is fatal. Each read is
+// armed with the heartbeat timeout as its deadline, so a SIGKILLed or
+// wedged peer is detected within one timeout even on an idle link.
 func (n *tcpNode) reader(peer int, p *tcpPeer) {
 	defer n.wg.Done()
 	var scratch []byte
 	for {
+		if to := time.Duration(n.hbTimeout.Load()); to > 0 {
+			_ = p.conn.SetReadDeadline(time.Now().Add(to))
+		} else {
+			_ = p.conn.SetReadDeadline(time.Time{})
+		}
 		f, s, err := readFrame(p.br, scratch)
 		scratch = s
 		if err != nil {
 			if !n.closed.Load() {
-				n.teardown(fmt.Errorf("mpi: link to rank %d failed: %w", peer, err))
+				n.rankDied(peer, fmt.Errorf("mpi: link to rank %d failed: %w", peer, err))
 			}
 			return
 		}
 		if err := n.dispatch(f); err != nil {
-			n.teardown(fmt.Errorf("mpi: protocol error from rank %d: %w", peer, err))
+			n.rankDied(peer, fmt.Errorf("mpi: protocol error from rank %d: %w", peer, err))
 			return
 		}
 	}
@@ -216,6 +250,16 @@ func (n *tcpNode) dispatch(f frame) error {
 		n.telemMu.Lock()
 		n.telem = append(n.telem, TelemetryItem{Rank: int(f.rank), Payload: ref})
 		n.telemMu.Unlock()
+	case frameHeartbeat:
+		// Keepalive: its arrival already refreshed this link's read
+		// deadline; nothing to route.
+	case frameRankDead:
+		if int(f.rank) == n.rank {
+			// A peer believes we are dead (one-way partition). Our own
+			// links decide our view; ignore the notice.
+			return nil
+		}
+		n.rankDied(int(f.rank), fmt.Errorf("mpi: reported dead by a peer: %s", f.cause))
 	case frameWorldClose, frameBarrierEnter, frameBarrierRelease, frameWinPut, frameWinAdd, frameWinGet:
 		n.deliver(f.epoch, pendItem{
 			kind: f.kind, win: int(f.win), slot: int(f.slot), val: f.val,
@@ -279,6 +323,15 @@ func (n *tcpNode) register(w *World) {
 	delete(n.pending, w.epoch)
 	dead := n.closed.Load()
 	n.mu.Unlock()
+	// Ranks that died before this world was minted are planned around,
+	// not failures: the world completes over the surviving live set.
+	n.memMu.Lock()
+	for r, cause := range n.deadRank {
+		if cause != nil {
+			w.seedDead(r, cause)
+		}
+	}
+	n.memMu.Unlock()
 	for _, it := range items {
 		n.apply(w, it)
 	}
@@ -310,6 +363,9 @@ func (n *tcpNode) sendMessage(w *World, to int, m message) (int, error) {
 	if n.closed.Load() || w.closed.Load() {
 		return 0, worldOrTransportErr(w)
 	}
+	if de := n.deadErr(to); de != nil {
+		return 0, de
+	}
 	p := n.peers[to]
 	p.wmu.Lock()
 	var codec CodecID
@@ -333,7 +389,10 @@ func (n *tcpNode) sendMessage(w *World, to int, m message) (int, error) {
 	_, err := p.conn.Write(p.wbuf)
 	p.wmu.Unlock()
 	if err != nil {
-		n.teardown(fmt.Errorf("mpi: write to rank %d failed: %w", to, err))
+		n.rankDied(to, fmt.Errorf("mpi: write to rank %d failed: %w", to, err))
+		if de := n.deadErr(to); de != nil {
+			return 0, de
+		}
 		return 0, worldOrTransportErr(w)
 	}
 	releasePayload(&m)
@@ -348,9 +407,14 @@ func worldOrTransportErr(w *World) error {
 }
 
 // sendCtrl ships one control frame to the process hosting rank `to`.
+// Sends to dead ranks fail fast with a *RankDeadError; a write error
+// declares the peer dead.
 func (n *tcpNode) sendCtrl(to int, f frame) (int, error) {
 	if n.closed.Load() {
 		return 0, errTransportClosed
+	}
+	if de := n.deadErr(to); de != nil {
+		return 0, de
 	}
 	p := n.peers[to]
 	p.wmu.Lock()
@@ -359,18 +423,21 @@ func (n *tcpNode) sendCtrl(to int, f frame) (int, error) {
 	_, err := p.conn.Write(p.wbuf)
 	p.wmu.Unlock()
 	if err != nil {
-		n.teardown(fmt.Errorf("mpi: write to rank %d failed: %w", to, err))
+		n.rankDied(to, fmt.Errorf("mpi: write to rank %d failed: %w", to, err))
+		if de := n.deadErr(to); de != nil {
+			return wire, de
+		}
 		return wire, err
 	}
 	return wire, nil
 }
 
-// broadcastCtrl ships one control frame to every peer process. Individual
-// link failures tear the node down inside sendCtrl; the broadcast keeps
-// going so surviving peers still hear the news.
+// broadcastCtrl ships one control frame to every live peer process. Link
+// failures mid-broadcast shrink membership inside sendCtrl; the loop
+// keeps going so surviving peers still hear the news.
 func (n *tcpNode) broadcastCtrl(f frame) {
 	for r, p := range n.peers {
-		if p == nil {
+		if p == nil || !n.alive(r) {
 			continue
 		}
 		_, _ = n.sendCtrl(r, f)
@@ -423,6 +490,7 @@ func (n *tcpNode) teardown(cause error) {
 	if cause == nil {
 		cause = errTransportClosed
 	}
+	close(n.hbStop)
 	for _, p := range n.peers {
 		if p != nil {
 			p.conn.Close()

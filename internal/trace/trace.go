@@ -43,6 +43,10 @@ const (
 	CatSteal  = "steal"
 	CatMPI    = "mpi"
 	CatKernel = "kernel" // intra-rank parallel Delaunay insertion workers
+	// CatRecover marks fault-tolerance work: the span from a rank death
+	// being handled to the degraded phase's termination, and the instant
+	// events of the dead rank's task re-queue.
+	CatRecover = "recover"
 )
 
 // Arg is one numeric key/value attached to an event (task cost, bytes on
